@@ -1,0 +1,213 @@
+package mpic
+
+// Benchmark harness: one benchmark per evaluation artefact of DESIGN.md
+// §4 (the Table 1 regeneration and every figure-style experiment), plus
+// micro-benchmarks of the substrates. The experiment benchmarks run the
+// corresponding experiment in quick mode and report domain metrics
+// (success rate, blowup) alongside time; `go run ./cmd/mpicbench` runs
+// the full-size versions that EXPERIMENTS.md records.
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"mpic/internal/adversary"
+	"mpic/internal/core"
+	"mpic/internal/ecc"
+	"mpic/internal/experiments"
+	"mpic/internal/graph"
+	"mpic/internal/hashing"
+	"mpic/internal/protocol"
+
+	"mpic/internal/bitstring"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := experiments.Config{Trials: 2, Seed: 1, Quick: true}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.Run(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1 (E-T1).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFigNoiseSweep is E-F1: success probability vs noise fraction.
+func BenchmarkFigNoiseSweep(b *testing.B) { benchExperiment(b, "noise-sweep") }
+
+// BenchmarkFigRateVsSize is E-F2: constant-rate evidence across sizes.
+func BenchmarkFigRateVsSize(b *testing.B) { benchExperiment(b, "rate-size") }
+
+// BenchmarkFigCCVsNoise is E-F3: communication vs noise budget.
+func BenchmarkFigCCVsNoise(b *testing.B) { benchExperiment(b, "cc-noise") }
+
+// BenchmarkFigRewindWave is E-F4: recovery latency vs line length.
+func BenchmarkFigRewindWave(b *testing.B) { benchExperiment(b, "rewind-wave") }
+
+// BenchmarkFigPotential is E-F5: per-iteration potential growth.
+func BenchmarkFigPotential(b *testing.B) { benchExperiment(b, "potential") }
+
+// BenchmarkFigCollisions is E-F6: hash collisions vs the ε|Π| envelope.
+func BenchmarkFigCollisions(b *testing.B) { benchExperiment(b, "collisions") }
+
+// BenchmarkFigAblation is E-F7: flag-passing / rewind ablations.
+func BenchmarkFigAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkFigDeltaBias is E-F8: δ-biased vs PRF seed expansion.
+func BenchmarkFigDeltaBias(b *testing.B) { benchExperiment(b, "delta-bias") }
+
+// BenchmarkFigSeedAttack is E-F9: randomness-exchange attacks vs the ECC.
+func BenchmarkFigSeedAttack(b *testing.B) { benchExperiment(b, "seed-attack") }
+
+// BenchmarkFigRounds is E-F10: round-complexity blowup.
+func BenchmarkFigRounds(b *testing.B) { benchExperiment(b, "rounds") }
+
+// BenchmarkFigFullyUtilized is E-F11: the cost of the fully-utilized
+// model conversion.
+func BenchmarkFigFullyUtilized(b *testing.B) { benchExperiment(b, "fully-utilized") }
+
+// BenchmarkFigCollisionAttack is E-F12: the §6.1 seed-aware collision
+// attack vs hash length.
+func BenchmarkFigCollisionAttack(b *testing.B) { benchExperiment(b, "collision-attack") }
+
+// BenchmarkSchemeEndToEnd times one complete coded simulation per scheme
+// on a moderately sized network, reporting the communication blowup.
+func BenchmarkSchemeEndToEnd(b *testing.B) {
+	for _, s := range []Scheme{Algorithm1, AlgorithmA, AlgorithmB, AlgorithmC} {
+		b.Run(s.String(), func(b *testing.B) {
+			var blowup float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Topology: "random", N: 8,
+					Noise: "random", NoiseRate: 0.0005,
+					Scheme: s, Seed: int64(i + 1), IterFactor: 50,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Success {
+					b.Fatalf("iteration %d failed", i)
+				}
+				blowup += res.Blowup
+			}
+			b.ReportMetric(blowup/float64(b.N), "blowup")
+		})
+	}
+}
+
+// BenchmarkScalingNetworkSize times Algorithm A end to end as the
+// network grows (noiseless): the per-node simulation cost.
+func BenchmarkScalingNetworkSize(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{Topology: "line", N: n, Seed: 1, IterFactor: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Success {
+					b.Fatal("run failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroInnerProductHash measures one τ=8 hash over a 4096-bit
+// transcript prefix — the inner loop of every consistency check.
+func BenchmarkMicroInnerProductHash(b *testing.B) {
+	h := hashing.NewInnerProductHash(8, 8192)
+	src := hashing.NewPRFSource(1, 2)
+	x := bitstring.NewBitVec(4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4096; i++ {
+		x.Append(byte(rng.Intn(2)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash(x, src, 0)
+	}
+}
+
+// BenchmarkMicroAGHPWord measures δ-biased stream generation (one word).
+func BenchmarkMicroAGHPWord(b *testing.B) {
+	src := hashing.NewAGHPSource(0x12345, 0x6789a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Word(uint64(i % 1024))
+	}
+}
+
+// BenchmarkMicroRSCodec measures one randomness-exchange codeword
+// round trip with errors and erasures.
+func BenchmarkMicroRSCodec(b *testing.B) {
+	codec, err := ecc.NewBitCodec(128, 31, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]byte, 128)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	enc, err := codec.EncodeBits(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	erased := make([]bool, len(enc))
+	recv := make([]byte, len(enc))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(recv, enc)
+		for j := range erased {
+			erased[j] = false
+		}
+		recv[i%len(recv)] ^= 1
+		erased[(i*37)%len(erased)] = true
+		if _, err := codec.DecodeBits(recv, erased); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroReferenceRun measures the noiseless reference executor.
+func BenchmarkMicroReferenceRun(b *testing.B) {
+	g := graph.Line(8)
+	proto := protocol.NewRandom(g, 200, 0.5, 1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = protocol.RunReference(proto)
+	}
+}
+
+// BenchmarkMicroIteration measures one full scheme iteration (all four
+// phases) on a line of 6, amortized.
+func BenchmarkMicroIteration(b *testing.B) {
+	g := graph.Line(6)
+	proto := protocol.NewRandom(g, 300, 0.5, 1, nil)
+	params := core.ParamsFor(core.Alg1, g)
+	// A bounded faithful run: hashes grow with the transcript, so the
+	// paper's full 100·|Π| budget costs quadratic work; 4·|Π| keeps the
+	// metric meaningful (per-iteration cost at working transcript sizes).
+	params.IterFactor = 4
+	params.EarlyStop = false
+	params.Oracle = false
+	b.ResetTimer()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Options{Protocol: proto, Params: params, Adversary: adversary.None{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.Iterations
+	}
+	b.StopTimer()
+	if iters > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(iters), "ns/iteration")
+	}
+}

@@ -1,0 +1,55 @@
+// Command mpicbench regenerates the paper's evaluation artefacts: the
+// Table 1 comparison and the figure-style experiments of DESIGN.md §4,
+// printed as markdown tables (the source material of EXPERIMENTS.md).
+//
+// Example:
+//
+//	mpicbench -experiment table1
+//	mpicbench -experiment all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpic/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpicbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpicbench", flag.ContinueOnError)
+	var (
+		name   = fs.String("experiment", "all", "experiment name or 'all': "+strings.Join(experiments.Names(), ", "))
+		trials = fs.Int("trials", 10, "trials per measured cell")
+		seed   = fs.Int64("seed", 1, "base random seed")
+		quick  = fs.Bool("quick", false, "smaller sizes and trial counts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	if *name == "all" {
+		tables, err := experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t.Markdown())
+		}
+		return nil
+	}
+	t, err := experiments.Run(*name, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Markdown())
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	err := run([]string{"-topology", "line", "-n", "4", "-scheme", "A",
+		"-iterfactor", "20", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	err := run([]string{"-n", "4", "-scheme", "1", "-iterfactor", "10", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoisy(t *testing.T) {
+	err := run([]string{"-n", "4", "-scheme", "B", "-noise", "adaptive",
+		"-rate", "0.0005", "-iterfactor", "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scheme", "Z"}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if err := run([]string{"-topology", "moebius"}); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range []string{"1", "A", "a", "B", "b", "C", "c"} {
+		if _, err := parseScheme(s); err != nil {
+			t.Errorf("parseScheme(%q): %v", s, err)
+		}
+	}
+	if _, err := parseScheme("D"); err == nil {
+		t.Error("parseScheme accepted D")
+	}
+}

@@ -1,0 +1,172 @@
+// Package adversary implements the noise models of Section 2.1: oblivious
+// additive adversaries whose noise pattern is fixed independently of the
+// parties' randomness, and non-oblivious adversaries that adapt to the
+// observed execution. Every strategy is consulted for every
+// (round, directed link) pair — including silent slots, which is what
+// makes insertions possible.
+package adversary
+
+import (
+	"math/rand"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+)
+
+// Adversary decides, for each transmission slot, what the receiver gets.
+type Adversary interface {
+	// Corrupt returns the symbol delivered for the slot (round, link) on
+	// which sent was transmitted (Silence when the sender stayed quiet).
+	Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol
+}
+
+// Context exposes the live execution state that budgeted and adaptive
+// (non-oblivious) strategies may consult. Oblivious strategies ignore it.
+type Context interface {
+	// CC returns the cumulative number of party transmissions so far.
+	CC() int64
+}
+
+// ContextAware is implemented by strategies that need a Context; the
+// network engine wires it before the run starts.
+type ContextAware interface {
+	SetContext(ctx Context)
+}
+
+// None is the noiseless channel.
+type None struct{}
+
+// Corrupt implements Adversary.
+func (None) Corrupt(_ int, _ channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	return sent
+}
+
+// PatternKey addresses one slot of an oblivious noise pattern.
+type PatternKey struct {
+	Round int
+	Link  channel.Link
+}
+
+// Pattern is the paper's oblivious additive adversary: a fixed map from
+// slots to additive noise values e ∈ {1,2}; delivery is sent + e mod 3.
+// The pattern is chosen before the run and never looks at the execution.
+type Pattern struct {
+	noise map[PatternKey]uint8
+}
+
+// NewPattern returns an empty (noiseless) pattern.
+func NewPattern() *Pattern {
+	return &Pattern{noise: make(map[PatternKey]uint8)}
+}
+
+// Set fixes the additive noise e ∈ {1,2} for a slot.
+func (p *Pattern) Set(round int, link channel.Link, e uint8) {
+	if e%3 == 0 {
+		delete(p.noise, PatternKey{Round: round, Link: link})
+		return
+	}
+	p.noise[PatternKey{Round: round, Link: link}] = e % 3
+}
+
+// Len returns the number of corrupted slots in the pattern.
+func (p *Pattern) Len() int { return len(p.noise) }
+
+// Corrupt implements Adversary.
+func (p *Pattern) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if e, ok := p.noise[PatternKey{Round: round, Link: link}]; ok {
+		return sent.Add(e)
+	}
+	return sent
+}
+
+// FixingPattern is the stronger oblivious adversary of Remark 1: instead
+// of adding noise, it fixes the channel's *output* symbol for chosen
+// slots in advance. A fixed output that happens to equal what the party
+// sent does not count as a corruption (the engine classifies corruptions
+// by comparing sent and delivered), matching the remark's accounting
+// subtlety.
+type FixingPattern struct {
+	out map[PatternKey]bitstring.Symbol
+}
+
+// NewFixingPattern returns an empty fixing pattern.
+func NewFixingPattern() *FixingPattern {
+	return &FixingPattern{out: make(map[PatternKey]bitstring.Symbol)}
+}
+
+// Fix pins the delivered symbol for a slot.
+func (p *FixingPattern) Fix(round int, link channel.Link, sym bitstring.Symbol) {
+	p.out[PatternKey{Round: round, Link: link}] = sym
+}
+
+// Len returns the number of fixed slots.
+func (p *FixingPattern) Len() int { return len(p.out) }
+
+// Corrupt implements Adversary.
+func (p *FixingPattern) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if sym, ok := p.out[PatternKey{Round: round, Link: link}]; ok {
+		return sym
+	}
+	return sent
+}
+
+// RandomPattern fixes n corrupted slots uniformly over rounds [0, maxRound)
+// and the given directed links, with uniformly random additive values.
+// This is an oblivious additive adversary in the strict sense of the
+// paper: the whole pattern is fixed before the execution.
+func RandomPattern(rng *rand.Rand, n, maxRound int, links []channel.Link) *Pattern {
+	p := NewPattern()
+	if maxRound <= 0 || len(links) == 0 {
+		return p
+	}
+	for p.Len() < n && p.Len() < maxRound*len(links) {
+		k := PatternKey{
+			Round: rng.Intn(maxRound),
+			Link:  links[rng.Intn(len(links))],
+		}
+		if _, dup := p.noise[k]; dup {
+			continue
+		}
+		p.noise[k] = uint8(1 + rng.Intn(2))
+	}
+	return p
+}
+
+// Budget enforces a corruption allowance. The paper bounds the adversary
+// by a fraction µ of the instance's total communication; since CC grows
+// during the run, the rate budget is enforced online against the current
+// CC (plus an absolute floor so tiny runs can be attacked at all).
+type Budget struct {
+	// Rate is the allowed corruptions per unit of communication (µ).
+	Rate float64
+	// Floor is an absolute minimum allowance independent of CC.
+	Floor int
+	ctx   Context
+	used  int
+}
+
+// SetContext implements ContextAware.
+func (b *Budget) SetContext(ctx Context) { b.ctx = ctx }
+
+// Used returns the number of corruptions spent.
+func (b *Budget) Used() int { return b.used }
+
+// TrySpend consumes one unit of budget if available.
+func (b *Budget) TrySpend() bool {
+	if b.Available() < 1 {
+		return false
+	}
+	b.used++
+	return true
+}
+
+// Available returns how many corruptions the budget currently allows
+// beyond those already spent. The allowance accrues with CC whether or
+// not it is spent, so an adversary can bank budget and strike in a salvo.
+func (b *Budget) Available() float64 {
+	allowance := float64(b.Floor)
+	if b.ctx != nil {
+		allowance += b.Rate * float64(b.ctx.CC())
+	}
+	return allowance - float64(b.used)
+}

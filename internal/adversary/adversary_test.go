@@ -1,0 +1,284 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+)
+
+type fakeCtx struct{ cc int64 }
+
+func (f *fakeCtx) CC() int64 { return f.cc }
+
+func TestNoneIsIdentity(t *testing.T) {
+	var a None
+	for s := bitstring.Symbol(0); s < 3; s++ {
+		if a.Corrupt(0, channel.Link{}, s) != s {
+			t.Fatal("None altered a symbol")
+		}
+	}
+}
+
+func TestPatternSetAndCorrupt(t *testing.T) {
+	p := NewPattern()
+	l := channel.Link{From: 0, To: 1}
+	p.Set(5, l, 1)
+	if got := p.Corrupt(5, l, bitstring.Sym0); got != bitstring.Sym1 {
+		t.Errorf("corrupt(0)+1 = %v, want 1", got)
+	}
+	if got := p.Corrupt(4, l, bitstring.Sym0); got != bitstring.Sym0 {
+		t.Error("uncorrupted slot altered")
+	}
+	if got := p.Corrupt(5, l.Reverse(), bitstring.Sym0); got != bitstring.Sym0 {
+		t.Error("reverse link altered")
+	}
+	p.Set(5, l, 0) // zero removes
+	if p.Len() != 0 {
+		t.Error("Set(0) did not remove the slot")
+	}
+}
+
+func TestRandomPatternBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	links := []channel.Link{{From: 0, To: 1}, {From: 1, To: 0}}
+	p := RandomPattern(rng, 10, 100, links)
+	if p.Len() != 10 {
+		t.Errorf("pattern has %d corruptions, want 10", p.Len())
+	}
+	// Saturation: cannot exceed slots.
+	p = RandomPattern(rng, 1000, 3, links)
+	if p.Len() != 6 {
+		t.Errorf("saturated pattern has %d, want 6", p.Len())
+	}
+	// Degenerate inputs.
+	if RandomPattern(rng, 5, 0, links).Len() != 0 {
+		t.Error("zero-round pattern nonempty")
+	}
+	if RandomPattern(rng, 5, 5, nil).Len() != 0 {
+		t.Error("zero-link pattern nonempty")
+	}
+}
+
+func TestBudgetEnforcesRate(t *testing.T) {
+	b := &Budget{Rate: 0.1, Floor: 0}
+	ctx := &fakeCtx{cc: 100}
+	b.SetContext(ctx)
+	spent := 0
+	for i := 0; i < 100; i++ {
+		if b.TrySpend() {
+			spent++
+		}
+	}
+	if spent != 10 {
+		t.Errorf("spent %d with CC=100 rate=0.1, want 10", spent)
+	}
+	ctx.cc = 200
+	if !b.TrySpend() {
+		t.Error("budget not replenished when CC grows")
+	}
+}
+
+func TestBudgetFloor(t *testing.T) {
+	b := &Budget{Rate: 0, Floor: 2}
+	if !b.TrySpend() || !b.TrySpend() {
+		t.Fatal("floor allowance not granted")
+	}
+	if b.TrySpend() {
+		t.Fatal("floor exceeded")
+	}
+	if b.Used() != 2 {
+		t.Errorf("Used() = %d, want 2", b.Used())
+	}
+}
+
+func TestRandomRateRespectsBudget(t *testing.T) {
+	a := NewRandomRate(0.5, rand.New(rand.NewSource(2)))
+	ctx := &fakeCtx{cc: 0}
+	a.SetContext(ctx)
+	l := channel.Link{From: 0, To: 1}
+	corruptions := 0
+	for i := 0; i < 1000; i++ {
+		ctx.cc++
+		if a.Corrupt(i, l, bitstring.Sym0) != bitstring.Sym0 {
+			corruptions++
+		}
+	}
+	if corruptions == 0 {
+		t.Fatal("no corruption at 50% rate")
+	}
+	if float64(corruptions) > 0.5*float64(ctx.cc)+1 {
+		t.Fatalf("%d corruptions exceed budget %f", corruptions, 0.5*float64(ctx.cc))
+	}
+	if a.Corruptions() != corruptions {
+		t.Errorf("Corruptions() = %d, observed %d", a.Corruptions(), corruptions)
+	}
+}
+
+func TestRandomRateInsertBias(t *testing.T) {
+	a := NewRandomRate(1.0, rand.New(rand.NewSource(3)))
+	a.InsertBias = 0
+	ctx := &fakeCtx{cc: 1 << 30}
+	a.SetContext(ctx)
+	for i := 0; i < 100; i++ {
+		if a.Corrupt(i, channel.Link{}, bitstring.Silence) != bitstring.Silence {
+			t.Fatal("insertion with zero InsertBias")
+		}
+	}
+}
+
+func TestBurstTargetsWindowAndLink(t *testing.T) {
+	target := channel.Link{From: 1, To: 2}
+	a := NewBurst(target, 10, 20, 1.0)
+	ctx := &fakeCtx{cc: 1 << 20}
+	a.SetContext(ctx)
+	if a.Corrupt(5, target, bitstring.Sym1) != bitstring.Sym1 {
+		t.Error("corrupted outside window")
+	}
+	if a.Corrupt(15, channel.Link{From: 0, To: 1}, bitstring.Sym1) != bitstring.Sym1 {
+		t.Error("corrupted wrong link")
+	}
+	if got := a.Corrupt(15, target, bitstring.Sym1); got != bitstring.Silence {
+		t.Errorf("bit not deleted in window: %v", got)
+	}
+	if got := a.Corrupt(16, target, bitstring.Silence); got != bitstring.Silence {
+		t.Errorf("burst wasted budget on a silent slot: %v", got)
+	}
+}
+
+func TestAdaptiveOnlyHitsSimulationPhase(t *testing.T) {
+	links := []channel.Link{{From: 0, To: 1}, {From: 1, To: 0}}
+	oracle := func(round int) (int, int) {
+		if round%10 < 5 {
+			return 3, round / 10 // phase 3 = simulation
+		}
+		return 1, round / 10
+	}
+	a := NewAdaptive(links, oracle, 3, 1.0, rand.New(rand.NewSource(4)))
+	ctx := &fakeCtx{cc: 1 << 20}
+	a.SetContext(ctx)
+	// Non-simulation rounds untouched.
+	for r := 5; r < 10; r++ {
+		for _, l := range links {
+			if a.Corrupt(r, l, bitstring.Sym1) != bitstring.Sym1 {
+				t.Fatal("adaptive corrupted outside simulation phase")
+			}
+		}
+	}
+	// Simulation rounds: corrupts on its current target, at most PerChunk
+	// per iteration.
+	hits := 0
+	for it := 0; it < 6; it++ {
+		for r := it * 10; r < it*10+5; r++ {
+			for _, l := range links {
+				if a.Corrupt(r, l, bitstring.Sym1) != bitstring.Sym1 {
+					hits++
+				}
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("adaptive never corrupted simulation rounds")
+	}
+	if hits > 6 {
+		t.Fatalf("adaptive corrupted %d times over 6 iterations with PerChunk=1", hits)
+	}
+	// Silence is never turned into a bit by this strategy.
+	if a.Corrupt(60, links[0], bitstring.Silence) != bitstring.Silence {
+		t.Error("adaptive inserted into silence")
+	}
+}
+
+func TestFixedDeletions(t *testing.T) {
+	target := channel.Link{From: 0, To: 1}
+	a := NewFixedDeletions(target, 2)
+	a.Skip = 1
+	// First payload bit passes (skip), next two deleted, rest pass.
+	if a.Corrupt(0, target, bitstring.Sym1) != bitstring.Sym1 {
+		t.Error("skip not honored")
+	}
+	if a.Corrupt(1, target, bitstring.Sym0) != bitstring.Silence {
+		t.Error("first deletion missing")
+	}
+	if a.Corrupt(2, target, bitstring.Sym1) != bitstring.Silence {
+		t.Error("second deletion missing")
+	}
+	if a.Corrupt(3, target, bitstring.Sym1) != bitstring.Sym1 {
+		t.Error("budget exceeded")
+	}
+	if a.Corruptions() != 2 {
+		t.Errorf("Corruptions() = %d, want 2", a.Corruptions())
+	}
+	// Other links and silence never touched or counted against skip.
+	if a.Corrupt(4, target.Reverse(), bitstring.Sym1) != bitstring.Sym1 {
+		t.Error("wrong link corrupted")
+	}
+	if a.Corrupt(5, target, bitstring.Silence) != bitstring.Silence {
+		t.Error("silence corrupted")
+	}
+}
+
+func TestCorruptionsAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBurst(channel.Link{From: 0, To: 1}, 0, 10, 1)
+	ctx := &fakeCtx{cc: 100}
+	b.SetContext(ctx)
+	b.Corrupt(1, channel.Link{From: 0, To: 1}, bitstring.Sym1)
+	if b.Corruptions() != 1 {
+		t.Error("burst corruption not counted")
+	}
+	ad := NewAdaptive(nil, nil, 3, 1, rng)
+	if ad.Corruptions() != 0 {
+		t.Error("fresh adaptive has corruptions")
+	}
+	sa := NewSeedAttacker(nil, 10, 1, rng)
+	if sa.Corruptions() != 0 {
+		t.Error("fresh seed attacker has corruptions")
+	}
+}
+
+func TestSeedAttackerWindow(t *testing.T) {
+	target := channel.Link{From: 0, To: 1}
+	a := NewSeedAttacker([]channel.Link{target}, 50, 1.0, rand.New(rand.NewSource(5)))
+	ctx := &fakeCtx{cc: 1 << 20}
+	a.SetContext(ctx)
+	if a.Corrupt(10, target, bitstring.Sym0) == bitstring.Sym0 {
+		t.Error("seed attacker idle inside window")
+	}
+	if a.Corrupt(60, target, bitstring.Sym0) != bitstring.Sym0 {
+		t.Error("seed attacker active outside window")
+	}
+	if a.Corrupt(10, target.Reverse(), bitstring.Sym0) != bitstring.Sym0 {
+		t.Error("seed attacker hit untargeted link")
+	}
+}
+
+func TestFixingPattern(t *testing.T) {
+	p := NewFixingPattern()
+	l := channel.Link{From: 0, To: 1}
+	p.Fix(3, l, bitstring.Sym1)
+	p.Fix(4, l, bitstring.Silence)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	// Fixed output overrides whatever was sent.
+	if p.Corrupt(3, l, bitstring.Sym0) != bitstring.Sym1 {
+		t.Error("fixed output not delivered")
+	}
+	// Fixing to the sent value is a no-op corruption (Remark 1).
+	if p.Corrupt(3, l, bitstring.Sym1) != bitstring.Sym1 {
+		t.Error("fixing to sent value changed the symbol")
+	}
+	// Fixing to Silence deletes; fixing a silent slot inserts.
+	if p.Corrupt(4, l, bitstring.Sym0) != bitstring.Silence {
+		t.Error("fixed deletion missing")
+	}
+	if p.Corrupt(3, l, bitstring.Silence) != bitstring.Sym1 {
+		t.Error("fixed insertion missing")
+	}
+	// Unfixed slots pass through.
+	if p.Corrupt(9, l, bitstring.Sym0) != bitstring.Sym0 {
+		t.Error("unfixed slot corrupted")
+	}
+}

@@ -1,0 +1,250 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+)
+
+// RandomRate corrupts each real transmission independently with
+// probability Rate, and injects into each silent slot with probability
+// Rate·InsertBias. Its coin flips are drawn from a private generator that
+// is independent of the parties' randomness, so it is oblivious in the
+// sense required by the analysis of Section 4.4 (the error pattern does
+// not depend on the hash seeds).
+type RandomRate struct {
+	Rate       float64
+	InsertBias float64 // fraction of Rate applied to silent slots
+	Rng        *rand.Rand
+	budget     *Budget
+}
+
+// NewRandomRate returns a RandomRate adversary with an online rate budget
+// so the realized noise fraction stays at or below rate.
+func NewRandomRate(rate float64, rng *rand.Rand) *RandomRate {
+	return &RandomRate{
+		Rate:       rate,
+		InsertBias: 0.1,
+		Rng:        rng,
+		budget:     &Budget{Rate: rate, Floor: 1},
+	}
+}
+
+// SetContext implements ContextAware.
+func (a *RandomRate) SetContext(ctx Context) { a.budget.SetContext(ctx) }
+
+// Corruptions returns how many slots were corrupted.
+func (a *RandomRate) Corruptions() int { return a.budget.Used() }
+
+// Corrupt implements Adversary.
+func (a *RandomRate) Corrupt(_ int, _ channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	p := a.Rate
+	if sent == bitstring.Silence {
+		p *= a.InsertBias
+	}
+	if a.Rng.Float64() >= p {
+		return sent
+	}
+	if !a.budget.TrySpend() {
+		return sent
+	}
+	return sent.Add(uint8(1 + a.Rng.Intn(2)))
+}
+
+// Burst concentrates all corruption on one directed link during a round
+// window, subject to a rate budget. It models the worst-case "all noise
+// on one link" attacks the per-link meeting-points analysis worries
+// about. Oblivious: the target and window are fixed up front.
+//
+// MinSalvo makes the burst bank its allowance and only open fire once it
+// can afford that many consecutive corruptions — the pattern that defeats
+// repetition coding, whose blocks survive any single lost copy.
+type Burst struct {
+	Target   channel.Link
+	From, To int // round window [From, To)
+	MinSalvo int
+	budget   *Budget
+	inSalvo  bool
+}
+
+// NewBurst returns a burst adversary on target during [from, to) with the
+// given corruption rate budget.
+func NewBurst(target channel.Link, from, to int, rate float64) *Burst {
+	return &Burst{Target: target, From: from, To: to, MinSalvo: 1, budget: &Budget{Rate: rate, Floor: 1}}
+}
+
+// SetContext implements ContextAware.
+func (a *Burst) SetContext(ctx Context) { a.budget.SetContext(ctx) }
+
+// Corruptions returns how many slots were corrupted.
+func (a *Burst) Corruptions() int { return a.budget.Used() }
+
+// Corrupt implements Adversary. The burst deletes every real transmission
+// on its target while budget lasts; silent slots are left alone so no
+// budget is wasted — the adversary banks allowance (rate × CC accrues
+// whether or not it spends) and dumps it inside the window.
+func (a *Burst) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if link != a.Target || round < a.From || round >= a.To || sent == bitstring.Silence {
+		return sent
+	}
+	if !a.inSalvo {
+		if a.budget.Available() < float64(a.MinSalvo) {
+			return sent
+		}
+		a.inSalvo = true
+	}
+	if !a.budget.TrySpend() {
+		a.inSalvo = false
+		return sent
+	}
+	return bitstring.Silence
+}
+
+// PhaseOracle lets a non-oblivious adversary know which phase of the
+// coding scheme a round belongs to. The scheme engine provides it; this
+// is information a real adaptive adversary has, since the phase layout is
+// public and deterministic.
+type PhaseOracle func(round int) (phase int, iteration int)
+
+// Adaptive is a non-oblivious adversary: it watches the execution (via
+// Context and a PhaseOracle) and targets simulation-phase transmissions
+// on a rotating link, which maximizes undetected chunk damage per spent
+// corruption. Used to stress Algorithms B and C.
+type Adaptive struct {
+	Links     []channel.Link
+	Oracle    PhaseOracle
+	SimPhase  int // the phase index that identifies simulation rounds
+	PerChunk  int // corruptions it tries to land per targeted chunk
+	budget    *Budget
+	rng       *rand.Rand
+	curIter   int
+	curLink   int
+	spentIter int
+}
+
+// NewAdaptive builds an adaptive attacker over the given directed links.
+func NewAdaptive(links []channel.Link, oracle PhaseOracle, simPhase int, rate float64, rng *rand.Rand) *Adaptive {
+	return &Adaptive{
+		Links:    links,
+		Oracle:   oracle,
+		SimPhase: simPhase,
+		PerChunk: 1,
+		budget:   &Budget{Rate: rate, Floor: 1},
+		rng:      rng,
+		curIter:  -1,
+	}
+}
+
+// SetContext implements ContextAware.
+func (a *Adaptive) SetContext(ctx Context) { a.budget.SetContext(ctx) }
+
+// Corruptions returns how many slots were corrupted.
+func (a *Adaptive) Corruptions() int { return a.budget.Used() }
+
+// Corrupt implements Adversary.
+func (a *Adaptive) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if a.Oracle == nil || len(a.Links) == 0 {
+		return sent
+	}
+	phase, iter := a.Oracle(round)
+	if phase != a.SimPhase {
+		return sent
+	}
+	if iter != a.curIter {
+		// New iteration: rotate to a new target link and replenish the
+		// per-iteration attack allotment.
+		a.curIter = iter
+		a.curLink = (a.curLink + 1) % len(a.Links)
+		a.spentIter = 0
+	}
+	if link != a.Links[a.curLink] || a.spentIter >= a.PerChunk {
+		return sent
+	}
+	// Corrupt only real payload bits: flipping a live bit inside the
+	// simulated chunk silently poisons the transcript.
+	if sent == bitstring.Silence {
+		return sent
+	}
+	if !a.budget.TrySpend() {
+		return sent
+	}
+	a.spentIter++
+	return sent.Add(1)
+}
+
+// FixedDeletions deletes Count consecutive payload bits on one directed
+// link (after letting Skip payload bits through) and then stops — an
+// attack with a known absolute budget, used for apples-to-apples
+// comparisons between schemes whose total communication differs.
+type FixedDeletions struct {
+	Target channel.Link
+	Count  int
+	Skip   int
+	seen   int
+	used   int
+}
+
+// NewFixedDeletions returns the fixed-budget deleter.
+func NewFixedDeletions(target channel.Link, count int) *FixedDeletions {
+	return &FixedDeletions{Target: target, Count: count}
+}
+
+// Corruptions returns how many deletions have been applied.
+func (a *FixedDeletions) Corruptions() int { return a.used }
+
+// Corrupt implements Adversary.
+func (a *FixedDeletions) Corrupt(_ int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if link != a.Target || sent == bitstring.Silence {
+		return sent
+	}
+	a.seen++
+	if a.seen <= a.Skip || a.used >= a.Count {
+		return sent
+	}
+	a.used++
+	return bitstring.Silence
+}
+
+// SeedAttacker targets the randomness-exchange preamble: it corrupts
+// transmissions on the chosen links during rounds [0, window), trying to
+// break the seed agreement the rest of the protocol relies on
+// (Claim 5.16 shows the ECC makes this unaffordable).
+type SeedAttacker struct {
+	Targets []channel.Link
+	Window  int
+	budget  *Budget
+	rng     *rand.Rand
+}
+
+// NewSeedAttacker returns a seed attacker over the first window rounds.
+func NewSeedAttacker(targets []channel.Link, window int, rate float64, rng *rand.Rand) *SeedAttacker {
+	return &SeedAttacker{Targets: targets, Window: window, budget: &Budget{Rate: rate, Floor: 1}, rng: rng}
+}
+
+// SetContext implements ContextAware.
+func (a *SeedAttacker) SetContext(ctx Context) { a.budget.SetContext(ctx) }
+
+// Corruptions returns how many slots were corrupted.
+func (a *SeedAttacker) Corruptions() int { return a.budget.Used() }
+
+// Corrupt implements Adversary.
+func (a *SeedAttacker) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if round >= a.Window {
+		return sent
+	}
+	targeted := false
+	for _, t := range a.Targets {
+		if link == t {
+			targeted = true
+			break
+		}
+	}
+	if !targeted || sent == bitstring.Silence {
+		return sent
+	}
+	if !a.budget.TrySpend() {
+		return sent
+	}
+	return sent.Add(uint8(1 + a.rng.Intn(2)))
+}

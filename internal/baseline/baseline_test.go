@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpic/internal/adversary"
+	"mpic/internal/channel"
+	"mpic/internal/graph"
+	"mpic/internal/protocol"
+)
+
+func TestUncodedNoiselessSucceeds(t *testing.T) {
+	g := graph.Line(4)
+	proto := protocol.NewRandom(g, 40, 0.5, 1, nil)
+	res, err := RunUncoded(proto, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("uncoded noiseless run failed")
+	}
+	if res.Blowup != 1.0 {
+		t.Errorf("uncoded blowup = %f, want 1.0", res.Blowup)
+	}
+}
+
+func TestUncodedFailsUnderNoise(t *testing.T) {
+	g := graph.Line(4)
+	proto := protocol.NewRandom(g, 60, 0.5, 1, nil)
+	failures := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		adv := adversary.NewRandomRate(0.05, rand.New(rand.NewSource(int64(i))))
+		res, err := RunUncoded(proto, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			failures++
+		}
+	}
+	if failures < trials/2 {
+		t.Fatalf("uncoded failed only %d/%d under 5%% noise; expected fragility", failures, trials)
+	}
+}
+
+func TestNaiveFECNoiseless(t *testing.T) {
+	g := graph.Ring(4)
+	proto := protocol.NewRandom(g, 40, 0.5, 2, nil)
+	res, err := RunNaiveFEC(proto, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("naive FEC noiseless run failed")
+	}
+	if res.Blowup != 3.0 {
+		t.Errorf("FEC blowup = %f, want 3.0", res.Blowup)
+	}
+}
+
+func TestNaiveFECToleratesSparseSubstitutions(t *testing.T) {
+	g := graph.Line(3)
+	proto := protocol.NewRandom(g, 30, 0.5, 3, nil)
+	// One isolated substitution: with 5x repetition the majority absorbs
+	// it.
+	pat := adversary.NewPattern()
+	pat.Set(10, channel.Link{From: 0, To: 1}, 1)
+	res, err := RunNaiveFEC(proto, pat, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("naive FEC failed on a single substitution")
+	}
+}
+
+func TestNaiveFECFailsUnderBurst(t *testing.T) {
+	g := graph.Line(4)
+	proto := protocol.NewRandom(g, 60, 0.5, 4, nil)
+	failures := 0
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		// A burst that waits until budget has accrued, then wipes out
+		// whole repetition blocks on one link.
+		adv := adversary.NewBurst(channel.Link{From: 1, To: 2}, 90, 10000, 0.05)
+		res, err := RunNaiveFEC(proto, adv, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("naive FEC survived a concentrated burst; repetition should not")
+	}
+}
+
+func TestNaiveFECRejectsEvenRepetition(t *testing.T) {
+	g := graph.Line(3)
+	proto := protocol.NewRandom(g, 10, 0.5, 5, nil)
+	if _, err := RunNaiveFEC(proto, nil, 2); err == nil {
+		t.Error("even repetition accepted")
+	}
+	if _, err := RunNaiveFEC(proto, nil, 0); err == nil {
+		t.Error("zero repetition accepted")
+	}
+}

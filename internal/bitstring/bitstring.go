@@ -1,0 +1,135 @@
+// Package bitstring provides compact bit vectors and the ternary channel
+// alphabet used throughout the interactive-coding simulator.
+//
+// The paper's channel alphabet is {0, 1, ∗} where ∗ means "no message"
+// (silence). Transcripts are ternary strings which are hashed after the
+// natural 2-bits-per-symbol binary conversion (paper, Section 2.3).
+package bitstring
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BitVec is an append-only compact vector of bits.
+//
+// The zero value is an empty vector ready for use.
+type BitVec struct {
+	words []uint64
+	n     int
+}
+
+// NewBitVec returns an empty bit vector with capacity for n bits.
+func NewBitVec(n int) *BitVec {
+	if n < 0 {
+		n = 0
+	}
+	return &BitVec{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// Len returns the number of bits stored.
+func (b *BitVec) Len() int { return b.n }
+
+// Append adds a single bit (0 or 1; any nonzero byte counts as 1).
+func (b *BitVec) Append(bit byte) {
+	i := b.n >> 6
+	if i == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if bit != 0 {
+		b.words[i] |= 1 << uint(b.n&63)
+	}
+	b.n++
+}
+
+// AppendUint appends the width low-order bits of v, least-significant first.
+func (b *BitVec) AppendUint(v uint64, width int) {
+	for j := 0; j < width; j++ {
+		b.Append(byte(v >> uint(j) & 1))
+	}
+}
+
+// Get returns bit i. It panics if i is out of range, matching slice
+// semantics.
+func (b *BitVec) Get(i int) byte {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitstring: index %d out of range [0,%d)", i, b.n))
+	}
+	return byte(b.words[i>>6] >> uint(i&63) & 1)
+}
+
+// Word returns the i-th 64-bit word. Bits past Len() are zero.
+func (b *BitVec) Word(i int) uint64 {
+	if i < 0 || i >= len(b.words) {
+		return 0
+	}
+	w := b.words[i]
+	// Mask off bits beyond n in the last word so equality and folding are
+	// well defined.
+	if (i+1)*64 > b.n {
+		valid := uint(b.n - i*64)
+		if valid == 0 {
+			return 0
+		}
+		w &= (1 << valid) - 1
+	}
+	return w
+}
+
+// Words returns the number of 64-bit words needed to hold Len() bits.
+func (b *BitVec) Words() int { return (b.n + 63) / 64 }
+
+// Truncate shortens the vector to n bits. It panics if n exceeds Len().
+func (b *BitVec) Truncate(n int) {
+	if n < 0 || n > b.n {
+		panic(fmt.Sprintf("bitstring: truncate to %d out of range [0,%d]", n, b.n))
+	}
+	b.n = n
+	nw := (n + 63) / 64
+	b.words = b.words[:nw]
+	if nw > 0 {
+		valid := uint(n - (nw-1)*64)
+		if valid < 64 {
+			b.words[nw-1] &= (1 << valid) - 1
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (b *BitVec) Clone() *BitVec {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &BitVec{words: w, n: b.n}
+}
+
+// Equal reports whether two vectors hold identical bits.
+func (b *BitVec) Equal(o *BitVec) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := 0; i < b.Words(); i++ {
+		if b.Word(i) != o.Word(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the bits most-recent last, e.g. "0110".
+func (b *BitVec) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		sb.WriteByte('0' + b.Get(i))
+	}
+	return sb.String()
+}
+
+// FromBits builds a vector from a slice of 0/1 bytes.
+func FromBits(bits []byte) *BitVec {
+	v := NewBitVec(len(bits))
+	for _, bit := range bits {
+		v.Append(bit)
+	}
+	return v
+}

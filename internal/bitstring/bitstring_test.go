@@ -1,0 +1,229 @@
+package bitstring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVecAppendGet(t *testing.T) {
+	tests := []struct {
+		name string
+		bits []byte
+	}{
+		{name: "empty", bits: nil},
+		{name: "single zero", bits: []byte{0}},
+		{name: "single one", bits: []byte{1}},
+		{name: "byte boundary", bits: []byte{1, 0, 1, 1, 0, 0, 1, 0}},
+		{name: "word boundary", bits: pattern(64)},
+		{name: "across words", bits: pattern(130)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := NewBitVec(0)
+			for _, b := range tt.bits {
+				v.Append(b)
+			}
+			if v.Len() != len(tt.bits) {
+				t.Fatalf("Len() = %d, want %d", v.Len(), len(tt.bits))
+			}
+			for i, b := range tt.bits {
+				if got := v.Get(i); got != b {
+					t.Errorf("Get(%d) = %d, want %d", i, got, b)
+				}
+			}
+		})
+	}
+}
+
+func pattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((i * 7 / 3) & 1)
+	}
+	return out
+}
+
+func TestBitVecAppendUint(t *testing.T) {
+	v := NewBitVec(0)
+	v.AppendUint(0b1011, 4)
+	want := []byte{1, 1, 0, 1} // least-significant first
+	for i, b := range want {
+		if v.Get(i) != b {
+			t.Errorf("bit %d = %d, want %d", i, v.Get(i), b)
+		}
+	}
+	if v.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", v.Len())
+	}
+}
+
+func TestBitVecTruncate(t *testing.T) {
+	v := FromBits(pattern(100))
+	v.Truncate(37)
+	if v.Len() != 37 {
+		t.Fatalf("Len() = %d, want 37", v.Len())
+	}
+	for i := 0; i < 37; i++ {
+		if v.Get(i) != pattern(100)[i] {
+			t.Fatalf("bit %d changed by truncate", i)
+		}
+	}
+	// Appending after truncate must not resurrect stale bits.
+	v.Append(0)
+	if v.Get(37) != 0 {
+		t.Error("stale bit visible after truncate+append")
+	}
+}
+
+func TestBitVecTruncatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on truncate beyond length")
+		}
+	}()
+	v := FromBits([]byte{1, 0})
+	v.Truncate(3)
+}
+
+func TestBitVecGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Get")
+		}
+	}()
+	v := FromBits([]byte{1})
+	v.Get(1)
+}
+
+func TestBitVecEqualClone(t *testing.T) {
+	a := FromBits(pattern(77))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Append(1)
+	if a.Equal(b) {
+		t.Fatal("length-differing vectors compare equal")
+	}
+	c := a.Clone()
+	c.Truncate(76)
+	c.Append(1 - a.Get(76))
+	if a.Equal(c) {
+		t.Fatal("content-differing vectors compare equal")
+	}
+}
+
+func TestBitVecWordMasksTail(t *testing.T) {
+	v := NewBitVec(0)
+	for i := 0; i < 70; i++ {
+		v.Append(1)
+	}
+	v.Truncate(65)
+	if got := v.Word(1); got != 1 {
+		t.Fatalf("Word(1) = %#x, want 1 (tail must be masked)", got)
+	}
+	if got := v.Word(5); got != 0 {
+		t.Fatalf("Word(5) = %#x, want 0 for out-of-range word", got)
+	}
+}
+
+func TestBitVecString(t *testing.T) {
+	v := FromBits([]byte{0, 1, 1, 0})
+	if got := v.String(); got != "0110" {
+		t.Fatalf("String() = %q, want %q", got, "0110")
+	}
+}
+
+// Property: truncate(append-many) round trips.
+func TestBitVecTruncateProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, cutRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		cut := int(cutRaw) % (n + 1)
+		v := FromBits(bits)
+		v.Truncate(cut)
+		if v.Len() != cut {
+			return false
+		}
+		for i := 0; i < cut; i++ {
+			if v.Get(i) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolAdd(t *testing.T) {
+	tests := []struct {
+		s    Symbol
+		e    uint8
+		want Symbol
+	}{
+		{Sym0, 0, Sym0},
+		{Sym1, 0, Sym1},
+		{Silence, 0, Silence},
+		{Sym0, 1, Sym1},    // substitution
+		{Sym1, 1, Silence}, // deletion
+		{Silence, 1, Sym0}, // insertion
+		{Sym0, 2, Silence}, // deletion
+		{Sym1, 2, Sym0},    // substitution
+		{Silence, 2, Sym1}, // insertion
+	}
+	for _, tt := range tests {
+		if got := tt.s.Add(tt.e); got != tt.want {
+			t.Errorf("%v.Add(%d) = %v, want %v", tt.s, tt.e, got, tt.want)
+		}
+	}
+}
+
+// Property: Add is a bijection for each e, and Add(0) is identity.
+func TestSymbolAddProperty(t *testing.T) {
+	for e := uint8(0); e < 3; e++ {
+		seen := map[Symbol]bool{}
+		for s := Symbol(0); s < 3; s++ {
+			r := s.Add(e)
+			if seen[r] {
+				t.Fatalf("Add(%d) not a bijection", e)
+			}
+			seen[r] = true
+			if e == 0 && r != s {
+				t.Fatalf("Add(0) changed %v to %v", s, r)
+			}
+		}
+	}
+}
+
+func TestSymbolHelpers(t *testing.T) {
+	if !Sym0.IsBit() || !Sym1.IsBit() || Silence.IsBit() {
+		t.Error("IsBit misclassifies")
+	}
+	if Sym1.Bit() != 1 || Sym0.Bit() != 0 || Silence.Bit() != 0 {
+		t.Error("Bit() wrong")
+	}
+	if SymbolFromBit(1) != Sym1 || SymbolFromBit(0) != Sym0 {
+		t.Error("SymbolFromBit wrong")
+	}
+	if Silence.String() != "*" || Sym0.String() != "0" || Sym1.String() != "1" {
+		t.Error("String() wrong")
+	}
+	if Symbol(9).String() != "?" {
+		t.Error("String() on invalid symbol")
+	}
+}
+
+func TestAppendSymbol(t *testing.T) {
+	v := NewBitVec(0)
+	v.AppendSymbol(Silence) // 2 = binary 10, LSB first: 0,1
+	if v.Len() != 2 || v.Get(0) != 0 || v.Get(1) != 1 {
+		t.Fatalf("AppendSymbol(Silence) produced %s", v.String())
+	}
+}

@@ -1,0 +1,63 @@
+package bitstring
+
+// Symbol is one channel symbol from the ternary alphabet {0, 1, ∗}.
+//
+// The paper models a transmission as Ch : Σ ∪ {∗} → Σ ∪ {∗} with Σ = {0,1}.
+// Silence (∗) is encoded as 2 so that the oblivious additive adversary of
+// Section 2.1 is literally "received = sent + e mod 3".
+type Symbol uint8
+
+const (
+	// Sym0 is the bit 0.
+	Sym0 Symbol = 0
+	// Sym1 is the bit 1.
+	Sym1 Symbol = 1
+	// Silence is the "no message" symbol ∗.
+	Silence Symbol = 2
+)
+
+// SymbolFromBit converts a 0/1 byte to a Symbol.
+func SymbolFromBit(b byte) Symbol {
+	if b != 0 {
+		return Sym1
+	}
+	return Sym0
+}
+
+// Add applies an additive noise value e in {0,1,2} to the symbol, modulo 3.
+// Add(0) is the identity (no corruption).
+func (s Symbol) Add(e uint8) Symbol {
+	return Symbol((uint8(s) + e) % 3)
+}
+
+// IsBit reports whether the symbol is a data bit rather than silence.
+func (s Symbol) IsBit() bool { return s == Sym0 || s == Sym1 }
+
+// Bit returns the symbol as a 0/1 byte; Silence decodes to 0. The caller
+// should check IsBit when the distinction matters.
+func (s Symbol) Bit() byte {
+	if s == Sym1 {
+		return 1
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (s Symbol) String() string {
+	switch s {
+	case Sym0:
+		return "0"
+	case Sym1:
+		return "1"
+	case Silence:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// AppendSymbol appends the 2-bit binary encoding of a ternary symbol, the
+// "natural manner" conversion of Section 2.3 used before hashing.
+func (b *BitVec) AppendSymbol(s Symbol) {
+	b.AppendUint(uint64(s), 2)
+}

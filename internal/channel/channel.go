@@ -1,0 +1,68 @@
+// Package channel defines directed links and the classification of noise
+// events on them. A corruption is any transmission where the delivered
+// symbol differs from the sent one; following Section 2.1, a substitution
+// turns one bit into another, a deletion turns a bit into silence, and an
+// insertion turns silence into a bit.
+package channel
+
+import (
+	"fmt"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/graph"
+)
+
+// Link is a directed communication link From → To.
+type Link struct {
+	From, To graph.Node
+}
+
+// Reverse returns the link in the opposite direction.
+func (l Link) Reverse() Link { return Link{From: l.To, To: l.From} }
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
+
+// Kind classifies a noise event.
+type Kind int
+
+const (
+	// KindNone means the transmission was delivered unchanged.
+	KindNone Kind = iota
+	// KindSubstitution flips a bit into the other bit.
+	KindSubstitution
+	// KindDeletion removes a transmitted bit.
+	KindDeletion
+	// KindInsertion injects a bit where none was sent.
+	KindInsertion
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindSubstitution:
+		return "substitution"
+	case KindDeletion:
+		return "deletion"
+	case KindInsertion:
+		return "insertion"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify reports what kind of noise turned sent into recv.
+func Classify(sent, recv bitstring.Symbol) Kind {
+	switch {
+	case sent == recv:
+		return KindNone
+	case sent == bitstring.Silence:
+		return KindInsertion
+	case recv == bitstring.Silence:
+		return KindDeletion
+	default:
+		return KindSubstitution
+	}
+}

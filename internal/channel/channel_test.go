@@ -1,0 +1,49 @@
+package channel
+
+import (
+	"testing"
+
+	"mpic/internal/bitstring"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		sent, recv bitstring.Symbol
+		want       Kind
+	}{
+		{bitstring.Sym0, bitstring.Sym0, KindNone},
+		{bitstring.Silence, bitstring.Silence, KindNone},
+		{bitstring.Sym0, bitstring.Sym1, KindSubstitution},
+		{bitstring.Sym1, bitstring.Sym0, KindSubstitution},
+		{bitstring.Sym0, bitstring.Silence, KindDeletion},
+		{bitstring.Sym1, bitstring.Silence, KindDeletion},
+		{bitstring.Silence, bitstring.Sym0, KindInsertion},
+		{bitstring.Silence, bitstring.Sym1, KindInsertion},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.sent, tt.recv); got != tt.want {
+			t.Errorf("Classify(%v,%v) = %v, want %v", tt.sent, tt.recv, got, tt.want)
+		}
+	}
+}
+
+func TestLinkReverseAndString(t *testing.T) {
+	l := Link{From: 3, To: 7}
+	if l.Reverse() != (Link{From: 7, To: 3}) {
+		t.Error("Reverse wrong")
+	}
+	if l.String() != "3->7" {
+		t.Errorf("String() = %q", l.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNone: "none", KindSubstitution: "substitution",
+		KindDeletion: "deletion", KindInsertion: "insertion", Kind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

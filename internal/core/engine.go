@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"mpic/internal/adversary"
+	"mpic/internal/channel"
+	"mpic/internal/ecc"
+	"mpic/internal/graph"
+	"mpic/internal/hashing"
+	"mpic/internal/meeting"
+	"mpic/internal/network"
+	"mpic/internal/potential"
+	"mpic/internal/protocol"
+	"mpic/internal/trace"
+)
+
+// RunInfo is handed to adversary factories so adaptive (non-oblivious)
+// attackers can key their behavior to the public phase layout.
+type RunInfo struct {
+	// Links lists all directed links.
+	Links []channel.Link
+	// ExchangeRounds is the length of the randomness-exchange preamble.
+	ExchangeRounds int
+	// TotalRounds is the fixed length of the whole protocol.
+	TotalRounds int
+	// PhaseOracle maps a round to (phase, iteration); phases use the
+	// trace.Phase numbering.
+	PhaseOracle adversary.PhaseOracle
+}
+
+// Options configures one run of a coding scheme.
+type Options struct {
+	// Protocol is the noiseless Π to simulate.
+	Protocol protocol.Protocol
+	// Params are the scheme parameters (see ParamsFor).
+	Params Params
+	// Adversary injects channel noise; nil means noiseless.
+	Adversary adversary.Adversary
+	// AdversaryFactory, if set, builds the adversary after the phase
+	// layout is known (non-oblivious attackers); it overrides Adversary.
+	AdversaryFactory func(info RunInfo) adversary.Adversary
+	// WhiteBoxRate, if positive, overrides both adversary fields with the
+	// seed-aware collision attacker of Section 6.1 at the given
+	// corruption rate — the strongest non-oblivious attack implemented.
+	WhiteBoxRate float64
+	// Parallel enables the concurrent send executor.
+	Parallel bool
+}
+
+// WhiteBoxStats reports the collision attacker's bookkeeping.
+type WhiteBoxStats struct {
+	// Tried counts chunk-final slots the attacker inspected.
+	Tried int
+	// Landed counts corruptions fired with a guaranteed hash collision.
+	Landed int
+}
+
+// Result reports one run.
+type Result struct {
+	// Success means every party's output equals the noiseless reference.
+	Success bool
+	// Metrics is the network accounting.
+	Metrics *trace.Metrics
+	// CCProtocol is CC(Π) in bits.
+	CCProtocol int
+	// Blowup is Metrics.CC / CCProtocol.
+	Blowup float64
+	// NumChunks is |Π| in chunks.
+	NumChunks int
+	// Iterations actually executed (≤ IterFactor·|Π| with early stop).
+	Iterations int
+	// GStar is the network-wide agreed prefix at the end, in chunks.
+	GStar int
+	// BrokenSeedLinks counts links whose randomness exchange failed.
+	BrokenSeedLinks int
+	// WrongParties counts parties whose output differs from the
+	// reference.
+	WrongParties int
+	// Potential holds per-iteration snapshots when the oracle is on.
+	Potential []potential.Snapshot
+	// Outputs are the parties' final outputs.
+	Outputs [][]byte
+	// WhiteBox reports the collision attacker's statistics when
+	// WhiteBoxRate was set.
+	WhiteBox *WhiteBoxStats
+}
+
+// Run executes the coding scheme on a noisy network and checks the
+// outcome against a noiseless reference execution.
+func Run(opts Options) (*Result, error) {
+	if opts.Protocol == nil {
+		return nil, errors.New("core: no protocol")
+	}
+	p := opts.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := opts.Protocol.Graph()
+	if g.N() < 2 {
+		return nil, errors.New("core: need at least two parties")
+	}
+	sched := opts.Protocol.Schedule()
+	if sched.TotalBits() == 0 {
+		return nil, errors.New("core: protocol has no communication")
+	}
+	if err := sched.Validate(g); err != nil {
+		return nil, err
+	}
+
+	chunking := protocol.NewChunking(opts.Protocol, p.ChunkBits)
+	numChunks := chunking.NumChunks()
+	iters := p.IterFactor * numChunks
+	if iters < 1 {
+		iters = 1
+	}
+
+	e := &env{
+		params:    p,
+		g:         g,
+		proto:     opts.Protocol,
+		chunking:  chunking,
+		tree:      g.BFSTree(0),
+		numChunks: numChunks,
+		crsK0:     uint64(p.CRSKey)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b,
+		crsK1:     uint64(p.CRSKey)*0xda942042e4dd58b5 + 0xd1342543de82ef95,
+	}
+
+	// Hash input sizing: the longest transcript any link can reach is one
+	// chunk per iteration.
+	maxChunkBits := chunkIndexBits + 2*chunking.MaxSlotsPerLink
+	maxLen := (iters + 1) * maxChunkBits
+	e.hash = hashing.NewInnerProductHash(p.HashBits, maxLen)
+	e.seedLay = hashing.NewSeedLayout(e.hash)
+
+	lay := &layout{
+		mpRounds:     3 * p.HashBits,
+		simRounds:    1 + chunking.MaxChunkRounds,
+		rewindRounds: g.N(),
+		iters:        iters,
+	}
+	if e.tree.Depth >= 2 && !p.DisableFlagPassing {
+		lay.flagRounds = 2*e.tree.Depth - 2
+	}
+	if p.DisableRewind {
+		lay.rewindRounds = 0
+	}
+	if p.Randomness == RandExchange {
+		codec, err := ecc.NewBitCodec(seedBits, p.RSBlockN, p.RSBlockK)
+		if err != nil {
+			return nil, fmt.Errorf("core: exchange codec: %w", err)
+		}
+		e.codec = codec
+		lay.exchangeRounds = codec.CodewordBits()
+	}
+	e.lay = lay
+
+	parties := make([]network.Party, g.N())
+	coreParties := make([]*party, g.N())
+	for i := 0; i < g.N(); i++ {
+		cp := newParty(e, graph.Node(i))
+		coreParties[i] = cp
+		parties[i] = cp
+	}
+
+	metrics := &trace.Metrics{}
+	adv := opts.Adversary
+	if opts.AdversaryFactory != nil {
+		info := RunInfo{
+			ExchangeRounds: lay.exchangeRounds,
+			TotalRounds:    lay.totalRounds(),
+			PhaseOracle: func(round int) (int, int) {
+				it, ph, _ := lay.phaseAt(round)
+				return int(ph), it
+			},
+		}
+		var links []channel.Link
+		for _, edge := range g.Edges() {
+			links = append(links,
+				channel.Link{From: edge.U, To: edge.V},
+				channel.Link{From: edge.V, To: edge.U})
+		}
+		info.Links = links
+		adv = opts.AdversaryFactory(info)
+	}
+	var whitebox *whiteBoxAttacker
+	if opts.WhiteBoxRate > 0 {
+		whitebox = newWhiteBoxAttacker(e, coreParties, opts.WhiteBoxRate)
+		adv = whitebox
+	}
+	eng, err := network.NewEngine(g, parties, adv, metrics)
+	if err != nil {
+		return nil, err
+	}
+	eng.Parallel = opts.Parallel
+	eng.SetPhaseFn(func(round int) trace.Phase {
+		_, ph, _ := lay.phaseAt(round)
+		return ph
+	})
+
+	ref := protocol.RunReference(opts.Protocol)
+
+	res := &Result{
+		Metrics:    metrics,
+		CCProtocol: sched.TotalBits(),
+		NumChunks:  numChunks,
+	}
+
+	eng.RunRounds(0, lay.exchangeRounds)
+	oracle := newOracle(e, coreParties, metrics)
+	executed := 0
+	for it := 0; it < iters; it++ {
+		start := lay.iterStart(it)
+		eng.RunRounds(start, start+lay.iterRounds())
+		executed++
+		metrics.Iterations = executed
+		if p.Oracle {
+			snap := oracle.observe(it)
+			res.Potential = append(res.Potential, snap)
+			if p.EarlyStop && oracle.done() {
+				break
+			}
+		}
+	}
+	res.Iterations = executed
+
+	// Collect outcomes.
+	res.GStar = oracle.gStar()
+	for _, cp := range coreParties {
+		for _, ls := range cp.links {
+			if ls.seedBroken {
+				res.BrokenSeedLinks++
+			}
+		}
+	}
+	res.Outputs = make([][]byte, g.N())
+	for i, cp := range coreParties {
+		res.Outputs[i] = opts.Protocol.Output(codedView{p: cp})
+		if !bytes.Equal(res.Outputs[i], ref.Outputs[i]) {
+			res.WrongParties++
+		}
+	}
+	res.Success = res.WrongParties == 0
+	if res.CCProtocol > 0 {
+		res.Blowup = float64(metrics.CC) / float64(res.CCProtocol)
+	}
+	if whitebox != nil {
+		res.WhiteBox = &WhiteBoxStats{Tried: whitebox.Tried, Landed: whitebox.Landed}
+	}
+	return res, nil
+}
+
+// oracle is engine-side ground-truth instrumentation. It never feeds
+// information back to the parties.
+type oracle struct {
+	e       *env
+	parties []*party
+	metrics *trace.Metrics
+	edges   []graph.Edge
+	lastOK  bool
+}
+
+func newOracle(e *env, parties []*party, metrics *trace.Metrics) *oracle {
+	return &oracle{e: e, parties: parties, metrics: metrics, edges: e.g.Edges()}
+}
+
+// edgeState gathers both endpoints' view of one link.
+func (o *oracle) edgeState(edge graph.Edge) potential.EdgeState {
+	lu := o.parties[edge.U].links[edge.V]
+	lv := o.parties[edge.V].links[edge.U]
+	return potential.EdgeState{
+		LenU:   lu.T.Len(),
+		LenV:   lv.T.Len(),
+		Common: CommonPrefixChunks(lu.T, lv.T),
+		InMPU:  lu.mp.Status == meeting.StatusMeetingPoints,
+		InMPV:  lv.mp.Status == meeting.StatusMeetingPoints,
+		KU:     lu.mp.K,
+		KV:     lv.mp.K,
+	}
+}
+
+// observe snapshots the network at an iteration boundary: it detects
+// undetected mismatches (evidence of hash collisions — the transcripts
+// differ yet neither endpoint is searching) and computes the potential.
+func (o *oracle) observe(iter int) potential.Snapshot {
+	states := make([]potential.EdgeState, len(o.edges))
+	ok := true
+	for i, edge := range o.edges {
+		st := o.edgeState(edge)
+		states[i] = st
+		if st.B() > 0 {
+			ok = false
+			if !st.InMPU && !st.InMPV {
+				o.metrics.HashCollisions++
+			}
+		}
+		if st.LenU < o.e.numChunks || st.LenV < o.e.numChunks {
+			ok = false
+		}
+		o.metrics.HashComparisons += 3
+	}
+	o.lastOK = ok
+	k := o.e.params.ChunkBits / 5
+	ehc := o.metrics.TotalCorruptions() + o.metrics.HashCollisions
+	return potential.Compute(iter, states, k, len(o.edges), ehc)
+}
+
+// done reports whether the network is fully synchronized with all of Π
+// simulated — the oracle's early-stop condition.
+func (o *oracle) done() bool { return o.lastOK }
+
+// gStar returns the final network-wide agreed prefix.
+func (o *oracle) gStar() int {
+	g := -1
+	for _, edge := range o.edges {
+		st := o.edgeState(edge)
+		if g < 0 || st.Common < g {
+			g = st.Common
+		}
+	}
+	if g < 0 {
+		g = 0
+	}
+	return g
+}

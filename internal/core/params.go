@@ -1,0 +1,198 @@
+// Package core implements the paper's coding schemes: the four-phase
+// noise-resilient simulation of Algorithm 1 and its three instantiations —
+// Algorithm A (no CRS, oblivious noise, ε/m resilience), Algorithm B
+// (no CRS, non-oblivious noise, ε/(m log m)), and Algorithm C (CRS,
+// non-oblivious noise, ε/(m log log m)).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpic/internal/graph"
+)
+
+// Scheme selects one of the paper's coding schemes.
+type Scheme int
+
+const (
+	// Alg1 is Algorithm 1: pre-shared CRS, oblivious adversary, K = m.
+	Alg1 Scheme = iota + 1
+	// AlgA is Algorithm A: randomness exchange instead of a CRS,
+	// oblivious adversary, K = m.
+	AlgA
+	// AlgB is Algorithm B: randomness exchange, non-oblivious adversary,
+	// K = m·log m and Θ(log m)-bit hashes.
+	AlgB
+	// AlgC is Algorithm C: pre-shared CRS, non-oblivious adversary,
+	// K = m·log log m (Appendix B).
+	AlgC
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Alg1:
+		return "Algorithm1"
+	case AlgA:
+		return "AlgorithmA"
+	case AlgB:
+		return "AlgorithmB"
+	case AlgC:
+		return "AlgorithmC"
+	default:
+		return "unknown"
+	}
+}
+
+// RandMode says where hash seeds come from.
+type RandMode int
+
+const (
+	// RandCRS gives every link a shared seed stream derived from a common
+	// random string the adversary never sees (Algorithm 1 / C).
+	RandCRS RandMode = iota + 1
+	// RandExchange makes each pair of parties exchange a short seed over
+	// the noisy link, protected by the error-correcting code
+	// (Algorithm 5; used by Algorithms A and B).
+	RandExchange
+)
+
+// SeedKind selects how the short per-link seed expands into the long seed
+// stream.
+type SeedKind int
+
+const (
+	// SeedPRF expands by strong integer mixing — the fast default,
+	// standing in for a uniform stream (see DESIGN.md §3.7).
+	SeedPRF SeedKind = iota + 1
+	// SeedAGHP expands through the δ-biased AGHP powering construction of
+	// Lemma 2.5 — the paper-faithful choice, used in the δ-bias
+	// experiments.
+	SeedAGHP
+)
+
+// Params fully determines a coding-scheme instance. Zero values are
+// filled with defaults by Validate.
+type Params struct {
+	// ChunkBits is the communication budget per chunk (the paper's 5K).
+	ChunkBits int
+	// HashBits is the hash output length τ.
+	HashBits int
+	// IterFactor bounds iterations at IterFactor·|Π| (the paper runs
+	// exactly 100·|Π|).
+	IterFactor int
+	// Randomness selects CRS vs randomness exchange.
+	Randomness RandMode
+	// SeedKind selects the seed-stream expansion.
+	SeedKind SeedKind
+	// RSBlockN and RSBlockK parameterize the randomness-exchange code.
+	RSBlockN, RSBlockK int
+	// CRSKey seeds the common random string (CRS modes) and the parties'
+	// private randomness; runs with equal keys are reproducible.
+	CRSKey int64
+	// EarlyStop lets the harness halt once the oracle sees a fully
+	// consistent network that has simulated all of Π. The paper-faithful
+	// mode (false) always runs IterFactor·|Π| iterations.
+	EarlyStop bool
+	// Oracle enables ground-truth instrumentation (hash-collision
+	// detection, potential snapshots). Costs time, changes nothing
+	// observable to the parties.
+	Oracle bool
+	// DisableFlagPassing ablates the flag-passing phase (experiment E-F7).
+	DisableFlagPassing bool
+	// DisableRewind ablates the rewind phase (experiment E-F7).
+	DisableRewind bool
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1). Exposed because the
+// experiment harness reports noise levels in terms of m, log m, and
+// log log m.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+func log2Ceil(n int) int { return Log2Ceil(n) }
+
+// ParamsFor returns the paper's parameterization of the given scheme on
+// topology g.
+func ParamsFor(s Scheme, g *graph.Graph) Params {
+	m := g.M()
+	if m < 1 {
+		m = 1
+	}
+	p := Params{
+		IterFactor: 100,
+		RSBlockN:   31,
+		RSBlockK:   11,
+		EarlyStop:  true,
+		Oracle:     true,
+	}
+	logm := log2Ceil(m)
+	if logm < 1 {
+		logm = 1
+	}
+	loglogm := log2Ceil(logm + 1)
+	if loglogm < 1 {
+		loglogm = 1
+	}
+	switch s {
+	case Alg1:
+		p.ChunkBits = 5 * m
+		p.HashBits = 8
+		p.Randomness = RandCRS
+		p.SeedKind = SeedPRF
+	case AlgA:
+		p.ChunkBits = 5 * m
+		p.HashBits = 8
+		p.Randomness = RandExchange
+		p.SeedKind = SeedPRF
+	case AlgB:
+		p.ChunkBits = 5 * m * logm
+		p.HashBits = maxInt(8, 2*logm)
+		p.Randomness = RandExchange
+		p.SeedKind = SeedPRF
+	case AlgC:
+		p.ChunkBits = 5 * m * loglogm
+		p.HashBits = maxInt(8, 2*loglogm)
+		p.Randomness = RandCRS
+		p.SeedKind = SeedPRF
+	}
+	return p
+}
+
+// Validate fills defaults and rejects inconsistent parameters.
+func (p *Params) Validate() error {
+	if p.ChunkBits <= 0 {
+		return fmt.Errorf("core: ChunkBits must be positive, got %d", p.ChunkBits)
+	}
+	if p.HashBits <= 0 || p.HashBits > 64 {
+		return fmt.Errorf("core: HashBits must be in 1..64, got %d", p.HashBits)
+	}
+	if p.IterFactor <= 0 {
+		p.IterFactor = 100
+	}
+	if p.Randomness == 0 {
+		p.Randomness = RandCRS
+	}
+	if p.SeedKind == 0 {
+		p.SeedKind = SeedPRF
+	}
+	if p.RSBlockN == 0 {
+		p.RSBlockN, p.RSBlockK = 31, 11
+	}
+	if p.RSBlockK <= 0 || p.RSBlockK >= p.RSBlockN || p.RSBlockN > 255 {
+		return fmt.Errorf("core: invalid RS block (%d,%d)", p.RSBlockN, p.RSBlockK)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

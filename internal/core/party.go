@@ -1,0 +1,395 @@
+package core
+
+import (
+	"math/rand"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/ecc"
+	"mpic/internal/graph"
+	"mpic/internal/hashing"
+	"mpic/internal/meeting"
+	"mpic/internal/network"
+	"mpic/internal/protocol"
+	"mpic/internal/trace"
+)
+
+// env bundles everything shared (read-only) by all parties of a run.
+type env struct {
+	params    Params
+	g         *graph.Graph
+	proto     protocol.Protocol
+	chunking  *protocol.Chunking
+	tree      *graph.SpanningTree
+	lay       *layout
+	hash      *hashing.InnerProductHash
+	seedLay   *hashing.SeedLayout
+	numChunks int // |Π| in chunks
+	codec     *ecc.BitCodec
+	crsK0     uint64
+	crsK1     uint64
+}
+
+// linkState is one endpoint's per-link state: the pairwise transcript, the
+// meeting-points counters, the shared seed stream, and the scratch buffers
+// of the current phase.
+type linkState struct {
+	peer graph.Node
+	edge graph.Edge
+	T    *Transcript
+	mp   *meeting.State
+	src  hashing.SeedSource
+	iter int // iteration whose seeds the hasher uses
+
+	alreadyRewound bool
+
+	// Meeting-points phase buffers: 3τ bits each way.
+	mpOut  []byte
+	mpRecv []byte
+
+	// Simulation phase state.
+	skip     bool // received ⊥ this iteration
+	simChunk int  // chunk index being simulated; 0 = none
+	spec     *protocol.ChunkSpec
+	slots    []protocol.Slot
+	pending  []bitstring.Symbol
+
+	// Randomness-exchange state.
+	exchSend   []byte // codeword bits (sender side)
+	exchRecv   []byte
+	exchErased []bool
+	seedBroken bool
+}
+
+// hasher adapts a linkState to meeting.Hasher using the per-iteration
+// seed blocks both endpoints share.
+type hasher struct {
+	env *env
+	ls  *linkState
+}
+
+// HashK implements meeting.Hasher.
+func (h hasher) HashK(k int) uint64 {
+	off := h.env.seedLay.Offset(h.ls.iter, hashing.SlotK)
+	return h.env.hash.HashUint(uint64(k), meeting.KWidth, h.ls.src, off)
+}
+
+// HashPrefix implements meeting.Hasher.
+func (h hasher) HashPrefix(chunks int, slot int) uint64 {
+	s := hashing.SlotMP1
+	if slot == 2 {
+		s = hashing.SlotMP2
+	}
+	off := h.env.seedLay.Offset(h.ls.iter, s)
+	return h.env.hash.HashPrefix(h.ls.T.Bits(), h.ls.T.PrefixBits(chunks), h.ls.src, off)
+}
+
+// party is one node's implementation of the coding scheme: a state
+// machine over the fixed phase layout, driven by the network engine.
+type party struct {
+	env       *env
+	id        graph.Node
+	neighbors []graph.Node
+	links     map[graph.Node]*linkState
+
+	status     bool // the party's own continue/idle flag
+	flagAgg    bool // AND of own status and children's upward flags
+	netCorrect bool
+
+	preparedIter int // iteration whose MP messages are prepared (-1 none)
+
+	rewindRound int // round whose rewind decisions are already planned
+	rewindPlan  map[graph.Node]bool
+
+	rng *rand.Rand // private randomness (seed sampling)
+}
+
+var _ network.Party = (*party)(nil)
+var _ network.RoundEnder = (*party)(nil)
+
+func newParty(e *env, id graph.Node) *party {
+	p := &party{
+		env:          e,
+		id:           id,
+		neighbors:    e.g.Neighbors(id),
+		links:        make(map[graph.Node]*linkState),
+		status:       true,
+		netCorrect:   true,
+		preparedIter: -1,
+		rewindRound:  -1,
+		rewindPlan:   make(map[graph.Node]bool),
+		rng:          rand.New(rand.NewSource(e.params.CRSKey ^ (0x5851f42d4c957f2d * int64(id+1)))),
+	}
+	for _, v := range p.neighbors {
+		ls := &linkState{
+			peer: v,
+			edge: graph.Edge{U: id, V: v}.Canonical(),
+			T:    NewTranscript(),
+			mp:   meeting.NewState(),
+		}
+		p.links[v] = ls
+	}
+	p.initSeeds()
+	return p
+}
+
+// initSeeds prepares the per-link randomness. In CRS mode both endpoints
+// derive the same stream from the common key immediately; in exchange
+// mode the sender samples a short seed and encodes it, and sources are
+// built when the exchange phase completes.
+func (p *party) initSeeds() {
+	for _, ls := range p.links {
+		if p.env.params.Randomness == RandCRS {
+			a, b := crsLinkSeed(p.env.crsK0, p.env.crsK1, ls.edge)
+			ls.src = p.env.newSource(a, b)
+			continue
+		}
+		if p.isExchangeSender(ls) {
+			seed := make([]byte, seedBits)
+			for i := range seed {
+				seed[i] = byte(p.rng.Intn(2))
+			}
+			enc, err := p.env.codec.EncodeBits(seed)
+			if err != nil {
+				// The codec is sized for seedBits at construction; an
+				// error here is a programming bug, not a runtime state.
+				panic(err)
+			}
+			ls.exchSend = enc
+			a, b := seedToWords(seed)
+			ls.src = p.env.newSource(a, b)
+		} else {
+			ls.exchRecv = make([]byte, 0, p.env.codec.CodewordBits())
+			ls.exchErased = make([]bool, 0, p.env.codec.CodewordBits())
+		}
+	}
+}
+
+// seedBits is the short uniform seed length exchanged per link: two
+// GF(2^64) elements for the AGHP generator (or a 128-bit PRF key).
+const seedBits = 128
+
+// isExchangeSender fixes the arbitrary total order of Algorithm 5: the
+// lower node id samples and transmits the seed.
+func (p *party) isExchangeSender(ls *linkState) bool { return p.id < ls.peer }
+
+// crsLinkSeed derives a per-link 128-bit seed from the common random
+// string; both endpoints compute the same value.
+func crsLinkSeed(k0, k1 uint64, e graph.Edge) (uint64, uint64) {
+	salt := uint64(e.U)*0x1000003 + uint64(e.V) + 1
+	mix := func(x uint64) uint64 {
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	return mix(k0 ^ salt), mix(k1 ^ (salt * 0x9e3779b97f4a7c15))
+}
+
+func (e *env) newSource(a, b uint64) hashing.SeedSource {
+	if e.params.SeedKind == SeedAGHP {
+		return hashing.NewAGHPSource(a, b)
+	}
+	return hashing.NewPRFSource(a, b)
+}
+
+func seedToWords(bits []byte) (uint64, uint64) {
+	var a, b uint64
+	for i := 0; i < 64 && i < len(bits); i++ {
+		a |= uint64(bits[i]&1) << uint(i)
+	}
+	for i := 64; i < 128 && i < len(bits); i++ {
+		b |= uint64(bits[i]&1) << uint(i-64)
+	}
+	return a, b
+}
+
+// ID implements network.Party.
+func (p *party) ID() graph.Node { return p.id }
+
+// Send implements network.Party.
+func (p *party) Send(round int, to graph.Node) bitstring.Symbol {
+	iter, ph, rel := p.env.lay.phaseAt(round)
+	ls := p.links[to]
+	switch ph {
+	case trace.PhaseExchange:
+		if ls.exchSend != nil && rel < len(ls.exchSend) {
+			return bitstring.SymbolFromBit(ls.exchSend[rel])
+		}
+		return bitstring.Silence
+	case trace.PhaseMeetingPoints:
+		if p.preparedIter != iter {
+			p.prepareIteration(iter)
+		}
+		return bitstring.SymbolFromBit(ls.mpOut[rel])
+	case trace.PhaseFlagPassing:
+		return p.flagSend(rel, to)
+	case trace.PhaseSimulation:
+		return p.simSend(rel, ls)
+	default: // rewind
+		p.planRewinds(round)
+		if p.rewindPlan[to] {
+			p.rewindPlan[to] = false
+			return bitstring.Sym1
+		}
+		return bitstring.Silence
+	}
+}
+
+// Deliver implements network.Party.
+func (p *party) Deliver(round int, from graph.Node, sym bitstring.Symbol) {
+	_, ph, rel := p.env.lay.phaseAt(round)
+	ls := p.links[from]
+	switch ph {
+	case trace.PhaseExchange:
+		if ls.exchRecv != nil && rel < p.env.codec.CodewordBits() {
+			ls.exchRecv = append(ls.exchRecv, sym.Bit())
+			ls.exchErased = append(ls.exchErased, sym == bitstring.Silence)
+		}
+	case trace.PhaseMeetingPoints:
+		ls.mpRecv[rel] = sym.Bit()
+	case trace.PhaseFlagPassing:
+		p.flagDeliver(rel, from, sym)
+	case trace.PhaseSimulation:
+		p.simDeliver(rel, ls, sym)
+	default: // rewind
+		if sym == bitstring.Silence {
+			return
+		}
+		if ls.mp.Status != meeting.StatusMeetingPoints && !ls.alreadyRewound {
+			ls.T.TruncateTo(ls.T.Len() - 1)
+			ls.alreadyRewound = true
+		}
+	}
+}
+
+// EndRound implements network.RoundEnder: phase-boundary finalization.
+func (p *party) EndRound(round int) {
+	iter, ph, last := p.env.lay.phaseEnd(round)
+	if !last {
+		// The ⊥ round inside the simulation phase also needs
+		// finalization: chunk simulation state is set up only once all
+		// ⊥ symbols of the round have been seen.
+		if _, ph2, rel := p.env.lay.phaseAt(round); ph2 == trace.PhaseSimulation && rel == 0 {
+			p.beginSimulation()
+		}
+		return
+	}
+	switch ph {
+	case trace.PhaseExchange:
+		p.finishExchange()
+	case trace.PhaseMeetingPoints:
+		p.finishMeetingPoints()
+		if p.env.lay.flagRounds == 0 {
+			// Flag passing ablated (or trivial tree): a party trusts its
+			// own status only.
+			p.netCorrect = p.status
+		}
+		if p.env.lay.simRounds == 1 {
+			// Degenerate: no chunk rounds (cannot happen with a real
+			// protocol, but keep the machine total).
+			p.beginSimulation()
+		}
+	case trace.PhaseFlagPassing:
+		// netCorrect was fixed during delivery; nothing to finalize.
+	case trace.PhaseSimulation:
+		p.finishSimulation()
+	default: // rewind: end of the iteration
+		_ = iter
+	}
+}
+
+// prepareIteration computes the meeting-points messages for iteration it
+// and resets the per-iteration link scratch state.
+func (p *party) prepareIteration(it int) {
+	p.preparedIter = it
+	tau := p.env.params.HashBits
+	for _, ls := range p.links {
+		ls.iter = it
+		ls.alreadyRewound = false
+		ls.skip = false
+		msg := ls.mp.Outgoing(hasher{env: p.env, ls: ls}, ls.T.Len())
+		ls.mpOut = packHashes(msg, tau)
+		ls.mpRecv = make([]byte, 3*tau)
+	}
+}
+
+// packHashes serializes (HK, H1, H2) into 3τ bits, LSB-first per field.
+func packHashes(m meeting.Message, tau int) []byte {
+	out := make([]byte, 0, 3*tau)
+	for _, h := range []uint64{m.HK, m.H1, m.H2} {
+		for j := 0; j < tau; j++ {
+			out = append(out, byte(h>>uint(j)&1))
+		}
+	}
+	return out
+}
+
+// unpackHashes reverses packHashes.
+func unpackHashes(bits []byte, tau int) meeting.Message {
+	get := func(k int) uint64 {
+		var h uint64
+		for j := 0; j < tau; j++ {
+			h |= uint64(bits[k*tau+j]&1) << uint(j)
+		}
+		return h
+	}
+	return meeting.Message{HK: get(0), H1: get(1), H2: get(2)}
+}
+
+// finishMeetingPoints runs one meeting-points step per link and then
+// recomputes the party's own flag (Algorithm 1 lines 3–13).
+func (p *party) finishMeetingPoints() {
+	tau := p.env.params.HashBits
+	for _, ls := range p.links {
+		msg := unpackHashes(ls.mpRecv, tau)
+		act := ls.mp.Step(hasher{env: p.env, ls: ls}, ls.T.Len(), msg)
+		if act.TruncateTo >= 0 {
+			ls.T.TruncateTo(act.TruncateTo)
+		}
+	}
+	minChunk := p.minChunk()
+	p.status = true
+	for _, ls := range p.links {
+		if ls.mp.Status == meeting.StatusMeetingPoints || ls.T.Len() > minChunk {
+			p.status = false
+			break
+		}
+	}
+	p.flagAgg = p.status
+}
+
+func (p *party) minChunk() int {
+	min := -1
+	for _, ls := range p.links {
+		if min < 0 || ls.T.Len() < min {
+			min = ls.T.Len()
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// planRewinds makes this round's rewind decisions once (Algorithm 1 lines
+// 25–32): send a rewind on every link that is ahead of the party's
+// current minimum, outside meeting-points recovery, at most once per
+// iteration per link. minChunk is recomputed from the live transcript
+// lengths so the rewind wave of Claim 4.7 propagates one hop per round.
+func (p *party) planRewinds(round int) {
+	if p.rewindRound == round || p.env.params.DisableRewind {
+		return
+	}
+	p.rewindRound = round
+	minChunk := p.minChunk()
+	for _, v := range p.neighbors {
+		ls := p.links[v]
+		if ls.mp.Status == meeting.StatusMeetingPoints || ls.alreadyRewound {
+			continue
+		}
+		if ls.T.Len() > minChunk {
+			ls.T.TruncateTo(ls.T.Len() - 1)
+			ls.alreadyRewound = true
+			p.rewindPlan[v] = true
+		}
+	}
+}

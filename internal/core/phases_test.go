@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"mpic/internal/adversary"
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+	"mpic/internal/graph"
+	"mpic/internal/trace"
+)
+
+// phaseAttack corrupts slots of one phase on one link during the first
+// `iters` iterations: mode "insert" injects Sym1 into silence, "delete"
+// removes bits, "flip" substitutes them. Budget capped at `cap` events.
+type phaseAttack struct {
+	oracle adversary.PhaseOracle
+	target channel.Link
+	phase  trace.Phase
+	iters  int
+	mode   string
+	cap    int
+	used   int
+}
+
+func (a *phaseAttack) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if a.used >= a.cap || link != a.target {
+		return sent
+	}
+	ph, iter := a.oracle(round)
+	if ph != int(a.phase) || iter >= a.iters {
+		return sent
+	}
+	switch a.mode {
+	case "insert":
+		if sent != bitstring.Silence {
+			return sent
+		}
+		a.used++
+		return bitstring.Sym1
+	case "delete":
+		if sent == bitstring.Silence {
+			return sent
+		}
+		a.used++
+		return bitstring.Silence
+	default: // flip
+		if sent == bitstring.Silence {
+			return sent
+		}
+		a.used++
+		return sent.Add(1)
+	}
+}
+
+func runWithPhaseAttack(t *testing.T, g *graph.Graph, target channel.Link, phase trace.Phase, mode string, cap int) (*Result, *phaseAttack) {
+	t.Helper()
+	var atk *phaseAttack
+	res, err := Run(Options{
+		Protocol: quickProto(g, 21),
+		Params:   quickParams(Alg1, g, 21),
+		AdversaryFactory: func(info RunInfo) adversary.Adversary {
+			atk = &phaseAttack{oracle: info.PhaseOracle, target: target, phase: phase, iters: 3, mode: mode, cap: cap}
+			return atk
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, atk
+}
+
+// TestForgedBotSymbol: inserting a symbol into the ⊥ round makes the
+// receiver believe its neighbor opted out; the per-link transcript
+// lengths diverge and the rewind/meeting-points machinery must repair it.
+func TestForgedBotSymbol(t *testing.T) {
+	g := graph.Line(4)
+	res, atk := runWithPhaseAttack(t, g, channel.Link{From: 1, To: 2}, trace.PhaseSimulation, "insert", 2)
+	if atk.used == 0 {
+		t.Fatal("vacuous: no ⊥ forged")
+	}
+	if !res.Success {
+		t.Fatalf("forged ⊥ broke the run: G*=%d/%d", res.GStar, res.NumChunks)
+	}
+	if res.Iterations <= res.NumChunks {
+		t.Error("forged ⊥ cost no extra iterations; expected at least one repair")
+	}
+}
+
+// TestDeletedFlagIdlesNetwork: deleting the downward flag makes the
+// subtree read "stop" (conservative default) and idle one iteration —
+// costly but safe.
+func TestDeletedFlagIdlesNetwork(t *testing.T) {
+	g := graph.Line(4)
+	// Link 0→1 carries the root's downward flag.
+	res, atk := runWithPhaseAttack(t, g, channel.Link{From: 0, To: 1}, trace.PhaseFlagPassing, "delete", 2)
+	if atk.used == 0 {
+		t.Fatal("vacuous: no flag deleted")
+	}
+	if !res.Success {
+		t.Fatalf("deleted flags broke the run: G*=%d/%d", res.GStar, res.NumChunks)
+	}
+}
+
+// TestFlippedMeetingPointHashes: corrupting consistency-check hashes
+// causes false mismatches (the pair enters meeting points needlessly) but
+// never corrupts state — the run completes correctly.
+func TestFlippedMeetingPointHashes(t *testing.T) {
+	g := graph.Line(4)
+	res, atk := runWithPhaseAttack(t, g, channel.Link{From: 1, To: 2}, trace.PhaseMeetingPoints, "flip", 6)
+	if atk.used == 0 {
+		t.Fatal("vacuous: no hash bit flipped")
+	}
+	if !res.Success {
+		t.Fatalf("flipped hashes broke the run: G*=%d/%d", res.GStar, res.NumChunks)
+	}
+}
+
+// TestForgedRewind: injecting a rewind request makes the receiver
+// truncate a healthy chunk; the chunk is re-simulated next iteration.
+func TestForgedRewind(t *testing.T) {
+	g := graph.Line(4)
+	res, atk := runWithPhaseAttack(t, g, channel.Link{From: 2, To: 1}, trace.PhaseRewind, "insert", 2)
+	if atk.used == 0 {
+		t.Fatal("vacuous: no rewind forged")
+	}
+	if !res.Success {
+		t.Fatalf("forged rewinds broke the run: G*=%d/%d", res.GStar, res.NumChunks)
+	}
+	if res.Iterations <= res.NumChunks {
+		t.Error("forged rewinds cost no extra iterations; truncation should need re-simulation")
+	}
+}
+
+// TestSimulationFlipDetected: a substituted payload bit inside a chunk
+// must be caught by the next consistency check (with τ=8 the miss
+// probability per check is 1/256) and rolled back.
+func TestSimulationFlipDetected(t *testing.T) {
+	g := graph.Line(4)
+	res, atk := runWithPhaseAttack(t, g, channel.Link{From: 0, To: 1}, trace.PhaseSimulation, "flip", 1)
+	if atk.used == 0 {
+		t.Fatal("vacuous: no payload bit flipped")
+	}
+	if !res.Success {
+		t.Fatalf("single payload flip broke the run: G*=%d/%d", res.GStar, res.NumChunks)
+	}
+	if res.Metrics.TotalCorruptions() != 1 {
+		t.Fatalf("accounting: %d corruptions recorded, want 1", res.Metrics.TotalCorruptions())
+	}
+}
+
+// TestAttacksEveryPhaseEveryLink: sweep a small corruption over every
+// phase on every link of a ring; the scheme must survive all of them.
+func TestAttacksEveryPhaseEveryLink(t *testing.T) {
+	g := graph.Ring(4)
+	phases := []trace.Phase{trace.PhaseMeetingPoints, trace.PhaseFlagPassing, trace.PhaseSimulation, trace.PhaseRewind}
+	for _, e := range g.Edges() {
+		for _, ph := range phases {
+			for _, mode := range []string{"flip", "delete", "insert"} {
+				res, _ := runWithPhaseAttack(t, g, channel.Link{From: e.U, To: e.V}, ph, mode, 2)
+				if !res.Success {
+					t.Errorf("link %v phase %v mode %s: run failed (G*=%d/%d)",
+						e, ph, mode, res.GStar, res.NumChunks)
+				}
+			}
+		}
+	}
+}

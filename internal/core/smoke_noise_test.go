@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpic/internal/adversary"
+	"mpic/internal/graph"
+	"mpic/internal/protocol"
+)
+
+// TestSmokeNoisyAlgA runs Algorithm A against random oblivious noise at
+// its nominal ε/m budget.
+func TestSmokeNoisyAlgA(t *testing.T) {
+	g := graph.Line(4)
+	m := g.M()
+	proto := protocol.NewRandom(g, 60, 0.5, 1, nil)
+	params := ParamsFor(AlgA, g)
+	params.IterFactor = 40
+	ok := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		params.CRSKey = int64(trial)
+		adv := adversary.NewRandomRate(0.01/float64(m), rand.New(rand.NewSource(int64(trial))))
+		res, err := Run(Options{Protocol: proto, Params: params, Adversary: adv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("trial %d: success=%v iters=%d corruptions=%d collisions=%d blowup=%.2f G*=%d/%d",
+			trial, res.Success, res.Iterations, res.Metrics.TotalCorruptions(),
+			res.Metrics.HashCollisions, res.Blowup, res.GStar, res.NumChunks)
+		if res.Success {
+			ok++
+		}
+	}
+	if ok < trials-1 {
+		t.Fatalf("only %d/%d noisy runs succeeded", ok, trials)
+	}
+}

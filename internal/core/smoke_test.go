@@ -1,0 +1,26 @@
+package core
+
+import (
+	"testing"
+
+	"mpic/internal/graph"
+	"mpic/internal/protocol"
+)
+
+// TestSmokeNoiselessAlg1 runs the complete pipeline once, noiselessly.
+func TestSmokeNoiselessAlg1(t *testing.T) {
+	g := graph.Line(4)
+	proto := protocol.NewRandom(g, 60, 0.5, 1, nil)
+	params := ParamsFor(Alg1, g)
+	params.IterFactor = 10
+	res, err := Run(Options{Protocol: proto, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("noiseless run failed: G*=%d/%d chunks, wrong=%d, iters=%d",
+			res.GStar, res.NumChunks, res.WrongParties, res.Iterations)
+	}
+	t.Logf("chunks=%d iters=%d CC(Π)=%d CC=%d blowup=%.2f",
+		res.NumChunks, res.Iterations, res.CCProtocol, res.Metrics.CC, res.Blowup)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpic/internal/core"
+	"mpic/internal/graph"
+	"mpic/internal/stats"
+)
+
+// CollisionAttack (E-F12) stages the Section 6.1 attack: a seed-aware
+// (non-oblivious) adversary corrupts a chunk only when it can verify the
+// damaged transcripts will hash equal at the next consistency check.
+// With constant hash length the attacker lands corruptions regularly —
+// each one buying undetected divergence — while τ = Θ(log m) shrinks its
+// hit rate like 2^-τ. This is exactly why Algorithm B pays for longer
+// hashes (and larger chunks to keep the rate constant).
+func CollisionAttack(cfg Config) (*Table, error) {
+	g := graph.Line(5)
+	t := &Table{
+		ID:    "E-F12",
+		Title: "Seed-aware collision attack (§6.1) vs hash length τ",
+		Header: []string{"τ (hash bits)", "slots inspected", "collisions landed",
+			"hit rate", "success", "mean blowup"},
+	}
+	for _, tau := range []int{2, 4, 8, 16} {
+		var tried, landed int
+		succ := 0
+		var blowups []float64
+		trials := cfg.trials()
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + int64(trial)*7907
+			proto := workload(g, seed, cfg.Quick)
+			params := core.ParamsFor(core.Alg1, g)
+			params.CRSKey = seed
+			params.HashBits = tau
+			params.IterFactor = iterBudget(cfg)
+			res, err := core.Run(core.Options{
+				Protocol:     proto,
+				Params:       params,
+				WhiteBoxRate: 0.02,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Success {
+				succ++
+			}
+			blowups = append(blowups, res.Blowup)
+			if res.WhiteBox != nil {
+				tried += res.WhiteBox.Tried
+				landed += res.WhiteBox.Landed
+			}
+		}
+		rate := 0.0
+		if tried > 0 {
+			rate = float64(landed) / float64(tried)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(tau),
+			fmt.Sprint(tried),
+			fmt.Sprint(landed),
+			fmt.Sprintf("%.4f (2^-τ = %.4f)", rate, pow2neg(tau)),
+			fmt.Sprintf("%d/%d", succ, trials),
+			fmt.Sprintf("%.1f", stats.Summarize(blowups).Mean),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the attacker fires only on guaranteed collisions; its hit rate tracks ~2·2^-τ (two candidate corruptions per slot)",
+		"Section 6.1's conclusion: constant τ leaves a non-oblivious adversary steady ammunition, Θ(log m) starves it — the design difference between Algorithms A and B")
+	return t, nil
+}
+
+func pow2neg(tau int) float64 {
+	out := 1.0
+	for i := 0; i < tau; i++ {
+		out /= 2
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package experiments defines the reproduction experiments of DESIGN.md
+// §4: the empirical regeneration of the paper's Table 1 and the
+// figure-style experiments validating Theorems 1.1/1.2 and the key lemmas
+// (potential growth, hash-collision bounds, rewind-wave latency,
+// δ-biased seeding, randomness-exchange protection).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mpic/internal/adversary"
+	"mpic/internal/channel"
+	"mpic/internal/core"
+	"mpic/internal/graph"
+	"mpic/internal/protocol"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Trials is the number of repetitions per measured cell.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Quick shrinks sizes and trial counts for use inside benchmarks.
+	Quick bool
+}
+
+// DefaultConfig returns the configuration used to produce EXPERIMENTS.md.
+func DefaultConfig() Config { return Config{Trials: 10, Seed: 1} }
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 5
+	}
+	if c.Quick && c.Trials > 3 {
+		return 3
+	}
+	return c.Trials
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Markdown renders the table as GitHub markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// workload builds the standard generic workload for an experiment: the
+// Random protocol over the given topology with enough rounds to yield a
+// meaningful number of chunks.
+func workload(g *graph.Graph, seed int64, quick bool) protocol.Protocol {
+	rounds := 40 * g.N()
+	if quick {
+		rounds = 12 * g.N()
+	}
+	return protocol.NewRandom(g, rounds, 0.5, seed, nil)
+}
+
+// noiseFor builds the adversary for a scheme/noise pairing. rate is the
+// corruption budget as a fraction of CC.
+func noiseFor(kind string, rate float64, links []channel.Link, rng *rand.Rand) (adversary.Adversary, func(info core.RunInfo) adversary.Adversary) {
+	switch kind {
+	case "none", "":
+		return adversary.None{}, nil
+	case "random":
+		return adversary.NewRandomRate(rate, rng), nil
+	case "burst":
+		l := links[rng.Intn(len(links))]
+		return adversary.NewBurst(l, 0, 1<<30, rate), nil
+	case "adaptive":
+		seed := rng.Int63()
+		return nil, func(info core.RunInfo) adversary.Adversary {
+			return adversary.NewAdaptive(info.Links, info.PhaseOracle, 3 /* trace.PhaseSimulation */, rate, rand.New(rand.NewSource(seed)))
+		}
+	default:
+		return adversary.None{}, nil
+	}
+}
+
+// adversaryRate is a small alias used by the baseline comparisons.
+func adversaryRate(rate float64, rng *rand.Rand) adversary.Adversary {
+	return adversary.NewRandomRate(rate, rng)
+}
+
+// burstOn builds a banked-budget burst on link (u, v) that fires from
+// one-third into the run.
+func burstOn(u, v graph.Node, schedRounds int, rate float64) adversary.Adversary {
+	return adversary.NewBurst(channel.Link{From: u, To: v}, schedRounds, 1<<30, rate)
+}
+
+// runCell executes `trials` runs of a scheme under the given noise and
+// aggregates success and blowup.
+type cell struct {
+	Successes   int
+	Trials      int
+	Blowups     []float64
+	Iters       []float64
+	Collisions  int64
+	Corruptions int64
+}
+
+func runCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float64, cfg Config, iterFactor int) (cell, error) {
+	var out cell
+	trials := cfg.trials()
+	var links []channel.Link
+	for _, e := range g.Edges() {
+		links = append(links, channel.Link{From: e.U, To: e.V}, channel.Link{From: e.V, To: e.U})
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := cfg.Seed + int64(trial)*7907
+		proto := workload(g, seed, cfg.Quick)
+		params := core.ParamsFor(scheme, g)
+		params.CRSKey = seed
+		params.IterFactor = iterFactor
+		rng := rand.New(rand.NewSource(seed * 31))
+		adv, factory := noiseFor(noiseKind, rate, links, rng)
+		res, err := core.Run(core.Options{
+			Protocol:         proto,
+			Params:           params,
+			Adversary:        adv,
+			AdversaryFactory: factory,
+		})
+		if err != nil {
+			return out, err
+		}
+		out.Trials++
+		if res.Success {
+			out.Successes++
+		}
+		out.Blowups = append(out.Blowups, res.Blowup)
+		out.Iters = append(out.Iters, float64(res.Iterations))
+		out.Collisions += res.Metrics.HashCollisions
+		out.Corruptions += res.Metrics.TotalCorruptions()
+	}
+	return out, nil
+}

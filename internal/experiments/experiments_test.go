@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete ensures every experiment of DESIGN.md §4 is
+// registered.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "noise-sweep", "rate-size", "cc-noise", "rewind-wave",
+		"potential", "collisions", "ablation", "delta-bias", "seed-attack",
+		"rounds", "fully-utilized", "collision-attack",
+	}
+	for _, name := range want {
+		if _, ok := Registry[name]; !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsQuick executes every experiment end to end in quick
+// mode: the assertions are structural (tables render, rows exist); the
+// quantitative shape is recorded in EXPERIMENTS.md from full-mode runs.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still costs seconds")
+	}
+	cfg := Config{Trials: 2, Seed: 3, Quick: true}
+	tables, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Registry) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(Registry))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", tab.ID)
+		}
+		md := tab.Markdown()
+		if !strings.Contains(md, tab.Title) {
+			t.Errorf("%s: markdown missing title", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row width %d != header %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+		t.Log("\n" + md)
+	}
+}
+
+func TestMarkdownFormat(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### X — demo", "| a | b |", "| 1 | 2 |", "*note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

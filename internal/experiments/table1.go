@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpic/internal/baseline"
+	"mpic/internal/core"
+	"mpic/internal/graph"
+	"mpic/internal/stats"
+)
+
+// Table1 regenerates the paper's Table 1 empirically: each scheme is run
+// at its nominal noise level (ε at the paper's scaling in m) on an
+// arbitrary topology and reports measured success rate and communication
+// blowup. The baselines show what the schemes improve on: uncoded
+// execution collapses under the same noise, and naive repetition FEC
+// fails under a concentrated burst.
+//
+// The paper's rows for prior work (RS94, JKL15, HS16) relied on tree
+// codes with no efficient construction; their stand-ins here are the
+// baselines (see DESIGN.md §3.6).
+func Table1(cfg Config) (*Table, error) {
+	n := 8
+	if cfg.Quick {
+		n = 5
+	}
+	g, err := graph.ByName("random", n)
+	if err != nil {
+		return nil, err
+	}
+	m := float64(g.M())
+	// ε is chosen so that ε·CC(Π)/m is several absolute corruptions at
+	// this workload scale: inside the schemes' empirical tolerance (the
+	// E-F1 sweep shows full success through 0.01), fatal for the
+	// baselines.
+	eps := 0.01
+	logm := float64(core.Log2Ceil(g.M()))
+	if logm < 1 {
+		logm = 1
+	}
+	loglogm := float64(core.Log2Ceil(int(logm) + 1))
+	if loglogm < 1 {
+		loglogm = 1
+	}
+
+	t := &Table{
+		ID:     "E-T1",
+		Title:  "Table 1 regeneration: schemes at nominal noise, arbitrary topology",
+		Header: []string{"scheme", "noise level", "noise type", "success", "blowup (mean CC/CC(Π))", "efficient"},
+	}
+	type row struct {
+		scheme    core.Scheme
+		noiseKind string
+		rate      float64
+		level     string
+		ntype     string
+	}
+	rows := []row{
+		{core.AlgA, "random", eps / m, "ε/m", "oblivious ins+del+sub"},
+		{core.AlgB, "adaptive", eps / (m * logm), "ε/(m log m)", "non-oblivious ins+del+sub"},
+		{core.AlgC, "adaptive", eps / (m * loglogm), "ε/(m log log m)", "non-oblivious ins+del+sub (CRS)"},
+	}
+	iterFactor := 100
+	if cfg.Quick {
+		iterFactor = 30
+	}
+	for _, r := range rows {
+		c, err := runCell(r.scheme, g, r.noiseKind, r.rate, cfg, iterFactor)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.scheme.String(), r.level, r.ntype,
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
+			"yes",
+		})
+	}
+
+	// Baselines under the oblivious ε/m noise of Algorithm A.
+	ubRow, err := baselineRow("uncoded", g, eps/m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, ubRow)
+	fbRow, err := baselineRow("naive-fec", g, eps/m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, fbRow)
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("topology: random connected, n=%d, m=%d; workload: generic random protocol; ε=%.3f", g.N(), g.M(), eps),
+		"paper's shape: all three schemes succeed w.h.p. at constant rate; baselines without interactive coding fail under insertion/deletion noise",
+	)
+	return t, nil
+}
+
+func baselineRow(kind string, g *graph.Graph, rate float64, cfg Config) ([]string, error) {
+	succ, trials := 0, cfg.trials()
+	var blowups []float64
+	for trial := 0; trial < trials; trial++ {
+		seed := cfg.Seed + int64(trial)*104729
+		proto := workload(g, seed, cfg.Quick)
+		rng := rand.New(rand.NewSource(seed))
+		var res *baseline.Result
+		var err error
+		switch kind {
+		case "uncoded":
+			res, err = baseline.RunUncoded(proto, adversaryRate(rate, rng))
+		default:
+			// Bursts are the adversarial placement FEC cannot counter;
+			// same total budget as the random noise the coded schemes get.
+			links := g.Edges()
+			e := links[rng.Intn(len(links))]
+			adv := burstOn(e.U, e.V, proto.Schedule().Rounds(), rate)
+			res, err = baseline.RunNaiveFEC(proto, adv, 3)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if res.Success {
+			succ++
+		}
+		blowups = append(blowups, res.Blowup)
+	}
+	name := "uncoded Π"
+	level := "ε/m"
+	ntype := "oblivious ins+del+sub"
+	if kind != "uncoded" {
+		name = "naive FEC (3x repetition)"
+		ntype = "burst (same budget)"
+	}
+	return []string{
+		name, level, ntype,
+		fmt.Sprintf("%d/%d", succ, trials),
+		fmt.Sprintf("%.1f", stats.Summarize(blowups).Mean),
+		"yes (but not noise-resilient)",
+	}, nil
+}

@@ -1,0 +1,189 @@
+// Package graph provides the network topologies the coding schemes run
+// over: connected simple undirected graphs G = (V, E) where every node is a
+// party and every edge is a bidirectional communication link (paper,
+// Section 2.1).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Node identifies a party; nodes are numbered 0..n-1.
+type Node int
+
+// Edge is an undirected link between two parties, stored with U < V.
+type Edge struct {
+	U, V Node
+}
+
+// Canonical returns the edge with endpoints ordered so that U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is a connected simple undirected graph. Build one with New and
+// AddEdge, then call Validate (or use a generator from this package).
+type Graph struct {
+	n     int
+	adj   [][]Node
+	edges []Edge
+	seen  map[Edge]bool
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		n:    n,
+		adj:  make([][]Node, n),
+		seen: make(map[Edge]bool),
+	}
+}
+
+// N returns the number of parties.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of links.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected link (u, v). Self-loops and duplicates are
+// rejected.
+func (g *Graph) AddEdge(u, v Node) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if u < 0 || int(u) >= g.n || v < 0 || int(v) >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	e := Edge{U: u, V: v}.Canonical()
+	if g.seen[e] {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+	}
+	g.seen[e] = true
+	g.edges = append(g.edges, e)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether (u, v) is a link.
+func (g *Graph) HasEdge(u, v Node) bool {
+	return g.seen[Edge{U: u, V: v}.Canonical()]
+}
+
+// Neighbors returns the neighborhood N(v) in ascending order. The returned
+// slice is owned by the graph; callers must not modify it.
+func (g *Graph) Neighbors(v Node) []Node {
+	return g.adj[v]
+}
+
+// Degree returns |N(v)|.
+func (g *Graph) Degree(v Node) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Edges returns all links with U < V, sorted lexicographically. The slice
+// is a copy and safe to modify.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// sortAdj orders adjacency lists ascending so traversals are deterministic.
+func (g *Graph) sortAdj() {
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
+	}
+}
+
+// Validate checks the graph is non-empty, simple and connected, and
+// normalizes adjacency order.
+func (g *Graph) Validate() error {
+	if g.n == 0 {
+		return errors.New("graph: no nodes")
+	}
+	g.sortAdj()
+	if g.n == 1 {
+		return nil
+	}
+	visited := g.bfsOrder(0)
+	if len(visited) != g.n {
+		return fmt.Errorf("graph: not connected (%d of %d nodes reachable)", len(visited), g.n)
+	}
+	return nil
+}
+
+// bfsOrder returns nodes in BFS order from root.
+func (g *Graph) bfsOrder(root Node) []Node {
+	seen := make([]bool, g.n)
+	queue := []Node{root}
+	seen[root] = true
+	var order []Node
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, w := range g.adj[u] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// Diameter returns the graph diameter via BFS from every node. Intended
+// for the moderate sizes used in simulation.
+func (g *Graph) Diameter() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		dist := g.bfsDist(Node(v))
+		for _, x := range dist {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+func (g *Graph) bfsDist(root Node) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []Node{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

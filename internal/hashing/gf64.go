@@ -1,0 +1,59 @@
+// Package hashing implements the randomness substrates of the coding
+// schemes: the inner-product hash family of Definition 2.2, δ-biased
+// pseudorandom strings in the style of Naor–Naor / AGHP (Lemma 2.5), and
+// seed streams addressing per-(iteration, link, slot) seed blocks.
+package hashing
+
+import "math/bits"
+
+// gf64Poly is the reduction polynomial x^64 + x^4 + x^3 + x + 1 for
+// GF(2^64), represented by its low 64 bits.
+const gf64Poly uint64 = 0x1b
+
+// gfMul64 multiplies two elements of GF(2^64) (carry-less multiplication
+// followed by reduction).
+func gfMul64(a, b uint64) uint64 {
+	var lo, hi uint64
+	for i := 0; i < 64; i += 8 {
+		// Process 8 bits of b at a time for speed.
+		chunk := (b >> uint(i)) & 0xff
+		for j := 0; j < 8; j++ {
+			if chunk>>uint(j)&1 == 1 {
+				sh := uint(i + j)
+				lo ^= a << sh
+				if sh != 0 {
+					hi ^= a >> (64 - sh)
+				}
+			}
+		}
+	}
+	// Reduce the 128-bit product modulo x^64 + x^4 + x^3 + x + 1. Folding
+	// the high half twice suffices because the reduction polynomial's
+	// non-leading part fits in 5 bits.
+	for hi != 0 {
+		h := hi
+		hi = 0
+		lo ^= h ^ (h << 1) ^ (h << 3) ^ (h << 4)
+		hi ^= (h >> 63) ^ (h >> 61) ^ (h >> 60)
+	}
+	return lo
+}
+
+// gfPow64 raises a to the k-th power in GF(2^64) by square-and-multiply.
+func gfPow64(a uint64, k uint64) uint64 {
+	result := uint64(1)
+	base := a
+	for k > 0 {
+		if k&1 == 1 {
+			result = gfMul64(result, base)
+		}
+		base = gfMul64(base, base)
+		k >>= 1
+	}
+	return result
+}
+
+// parity64 returns the GF(2) inner product of x and y packed in words.
+func parity64(x, y uint64) uint64 {
+	return uint64(bits.OnesCount64(x&y) & 1)
+}

@@ -1,0 +1,37 @@
+package hashing
+
+// Slot identifies which of the per-iteration hash evaluations a seed block
+// feeds. The meeting-points step of Algorithm 7 exchanges three hashes per
+// iteration: one of the counter k and two of transcript prefixes.
+type Slot int
+
+const (
+	// SlotK seeds the hash of the meeting-point counter k.
+	SlotK Slot = iota
+	// SlotMP1 seeds the hash of the prefix at meeting point 1.
+	SlotMP1
+	// SlotMP2 seeds the hash of the prefix at meeting point 2.
+	SlotMP2
+	// numSlots is the number of seed blocks consumed per link-iteration.
+	numSlots
+)
+
+// SeedLayout computes non-overlapping seed-word offsets for every
+// (iteration, slot) pair on one link. Both endpoints of a link construct
+// the same layout over the same source, so their hash evaluations agree —
+// the shared-randomness invariant the consistency checks need.
+type SeedLayout struct {
+	hash *InnerProductHash
+}
+
+// NewSeedLayout returns the layout for one link's seed stream.
+func NewSeedLayout(h *InnerProductHash) *SeedLayout {
+	return &SeedLayout{hash: h}
+}
+
+// Offset returns the first seed word of the block for iteration it and
+// slot s.
+func (l *SeedLayout) Offset(it int, s Slot) uint64 {
+	block := l.hash.SeedWords()
+	return (uint64(it)*uint64(numSlots) + uint64(s)) * block
+}

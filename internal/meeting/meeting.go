@@ -1,0 +1,175 @@
+// Package meeting implements the meeting-points mechanism of Appendix A
+// (adapted from Haeupler, FOCS 2014) at chunk granularity: the rollback
+// protocol two adjacent parties run to find the longest prefix of their
+// pairwise transcripts on which they agree, using only O(1) hashes per
+// consistency-check phase.
+//
+// Per step the parties exchange three hashes — H(k) of the step counter
+// and H(T≤mp1), H(T≤mp2) of two candidate prefixes — where
+// k̃ = 2^⌈log₂k⌉, mp1 = k̃·⌊|T|/k̃⌋ and mp2 = max(mp1 − k̃, 0). Matching
+// votes accumulate in mpc1/mpc2; at scale boundaries (k = k̃) a party
+// rolls back to the best-voted meeting point, or restarts if counter
+// desynchronization dominates (2E ≥ k). The exact constants below are a
+// reconstruction (the appendix is not in the available text), preserving
+// the contract the main-text analysis uses: agreement implies status
+// "simulate"; disagreement triggers rollback within O(B) steps; every
+// corrupted step causes only O(1) damage.
+package meeting
+
+// Status says whether a link endpoint believes the pairwise transcript is
+// consistent.
+type Status int
+
+const (
+	// StatusSimulate means the endpoint is willing to extend the
+	// transcript (the paper's "simulate").
+	StatusSimulate Status = iota + 1
+	// StatusMeetingPoints means the endpoint is searching for a common
+	// prefix and must not simulate or accept rewinds on this link.
+	StatusMeetingPoints
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusSimulate:
+		return "simulate"
+	case StatusMeetingPoints:
+		return "meeting-points"
+	default:
+		return "unknown"
+	}
+}
+
+// KWidth is the bit width used when hashing the step counter k.
+const KWidth = 32
+
+// State is one endpoint's meeting-points state for one link: the counters
+// (k, E, mpc1, mpc2) of Algorithm 2's InitializeState.
+type State struct {
+	K, E       int
+	MPC1, MPC2 int
+	Status     Status
+}
+
+// NewState returns the initial state ("simulate", all counters zero).
+func NewState() *State {
+	return &State{Status: StatusSimulate}
+}
+
+// Reset zeroes the counters (the paper's k, E, mpc1, mpc2 ← 0).
+func (s *State) Reset() {
+	s.K, s.E, s.MPC1, s.MPC2 = 0, 0, 0, 0
+}
+
+// Message is the triple of hash values exchanged per step.
+type Message struct {
+	// HK is the hash of the sender's step counter k.
+	HK uint64
+	// H1 and H2 are hashes of the sender's transcript prefixes at its
+	// meeting points mp1 and mp2.
+	H1, H2 uint64
+}
+
+// Hasher provides the hash evaluations a step needs. Implementations hash
+// with the per-(iteration, slot) seeds shared by both endpoints, so equal
+// values mean (up to hash collisions) equal inputs.
+type Hasher interface {
+	// HashK hashes the counter value k.
+	HashK(k int) uint64
+	// HashPrefix hashes the transcript prefix of the given chunk length
+	// with the seed block for the given slot (1 or 2).
+	HashPrefix(chunks int, slot int) uint64
+}
+
+// scale returns k̃ = 2^⌈log₂ k⌉ for k >= 1.
+func scale(k int) int {
+	kt := 1
+	for kt < k {
+		kt <<= 1
+	}
+	return kt
+}
+
+// MeetingPoints returns (mp1, mp2) for counter k and transcript length
+// chunks.
+func MeetingPoints(k, chunks int) (int, int) {
+	kt := scale(k)
+	mp1 := kt * (chunks / kt)
+	mp2 := mp1 - kt
+	if mp2 < 0 {
+		mp2 = 0
+	}
+	return mp1, mp2
+}
+
+// Outgoing computes the message this endpoint sends for the upcoming step
+// (with counter k+1), given the current transcript length.
+func (s *State) Outgoing(h Hasher, chunks int) Message {
+	k := s.K + 1
+	mp1, mp2 := MeetingPoints(k, chunks)
+	return Message{
+		HK: h.HashK(k),
+		H1: h.HashPrefix(mp1, 1),
+		H2: h.HashPrefix(mp2, 2),
+	}
+}
+
+// Action is what the endpoint must do after a step.
+type Action struct {
+	// TruncateTo, if >= 0, is the chunk count the transcript must be
+	// rolled back to.
+	TruncateTo int
+}
+
+// Step advances the state by one meeting-points exchange: the endpoint
+// sent Outgoing() earlier in the phase and now processes the neighbor's
+// (possibly corrupted) message. chunks is the current transcript length.
+func (s *State) Step(h Hasher, chunks int, recv Message) Action {
+	s.K++
+	k := s.K
+	kt := scale(k)
+	mp1, mp2 := MeetingPoints(k, chunks)
+	act := Action{TruncateTo: -1}
+
+	myHK := h.HashK(k)
+	myH1 := h.HashPrefix(mp1, 1)
+	myH2 := h.HashPrefix(mp2, 2)
+
+	switch {
+	case recv.HK != myHK:
+		// Counter desync (or channel noise on the k-hash): count it; too
+		// many desyncs force a restart at the scale boundary.
+		s.E++
+	case k == 1 && mp1 == chunks && recv.H1 == myH1:
+		// Full-transcript agreement: verified consistent.
+		s.Reset()
+		s.Status = StatusSimulate
+		return act
+	default:
+		if myH1 == recv.H1 || myH1 == recv.H2 {
+			s.MPC1++
+		}
+		if myH2 == recv.H1 || myH2 == recv.H2 {
+			s.MPC2++
+		}
+	}
+
+	s.Status = StatusMeetingPoints
+
+	if k == kt { // scale boundary: decision time
+		switch {
+		case 2*s.E >= k:
+			s.Reset()
+		case 2*s.MPC1 >= kt:
+			act.TruncateTo = mp1
+			s.Reset()
+		case 2*s.MPC2 >= kt:
+			act.TruncateTo = mp2
+			s.Reset()
+		default:
+			s.MPC1, s.MPC2 = 0, 0
+		}
+	}
+	return act
+}

@@ -1,0 +1,280 @@
+package meeting
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeHasher hashes by identity over a synthetic "transcript" of chunk
+// contents: two endpoints agree on a prefix iff their contents agree.
+// HashK returns k itself; HashPrefix returns a fingerprint of the first
+// n chunk values.
+type fakeHasher struct {
+	content []uint64 // chunk contents
+}
+
+func (f fakeHasher) HashK(k int) uint64 { return uint64(k) }
+
+func (f fakeHasher) HashPrefix(chunks int, slot int) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < chunks && i < len(f.content); i++ {
+		h ^= f.content[i]
+		h *= 1099511628211
+	}
+	// Slot does not change the value for the fake (a real hash uses
+	// different seeds per slot, but equality semantics are what matter).
+	return h ^ uint64(chunks)<<32
+}
+
+// endpoint pairs a state with its synthetic transcript.
+type endpoint struct {
+	st      *State
+	content []uint64
+}
+
+func (e *endpoint) hasher() fakeHasher { return fakeHasher{content: e.content} }
+
+func (e *endpoint) len() int { return len(e.content) }
+
+// exchange performs one noiseless meeting-points step between two
+// endpoints, applying truncations.
+func exchange(a, b *endpoint) {
+	ma := a.st.Outgoing(a.hasher(), a.len())
+	mb := b.st.Outgoing(b.hasher(), b.len())
+	actA := a.st.Step(a.hasher(), a.len(), mb)
+	actB := b.st.Step(b.hasher(), b.len(), ma)
+	if actA.TruncateTo >= 0 && actA.TruncateTo < a.len() {
+		a.content = a.content[:actA.TruncateTo]
+	}
+	if actB.TruncateTo >= 0 && actB.TruncateTo < b.len() {
+		b.content = b.content[:actB.TruncateTo]
+	}
+}
+
+func mkEndpoint(content ...uint64) *endpoint {
+	return &endpoint{st: NewState(), content: content}
+}
+
+func TestScale(t *testing.T) {
+	tests := []struct{ k, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16}, {16, 16},
+	}
+	for _, tt := range tests {
+		if got := scale(tt.k); got != tt.want {
+			t.Errorf("scale(%d) = %d, want %d", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestMeetingPointsPositions(t *testing.T) {
+	tests := []struct {
+		k, chunks int
+		mp1, mp2  int
+	}{
+		{1, 10, 10, 9},
+		{2, 10, 10, 8},
+		{3, 10, 8, 4},
+		{4, 10, 8, 4},
+		{5, 10, 8, 0},
+		{1, 0, 0, 0},
+		{8, 3, 0, 0},
+	}
+	for _, tt := range tests {
+		mp1, mp2 := MeetingPoints(tt.k, tt.chunks)
+		if mp1 != tt.mp1 || mp2 != tt.mp2 {
+			t.Errorf("MeetingPoints(%d,%d) = (%d,%d), want (%d,%d)",
+				tt.k, tt.chunks, mp1, mp2, tt.mp1, tt.mp2)
+		}
+	}
+}
+
+func TestAgreementVerifiesImmediately(t *testing.T) {
+	a := mkEndpoint(1, 2, 3)
+	b := mkEndpoint(1, 2, 3)
+	exchange(a, b)
+	if a.st.Status != StatusSimulate || b.st.Status != StatusSimulate {
+		t.Fatalf("statuses = %v/%v, want simulate", a.st.Status, b.st.Status)
+	}
+	if a.st.K != 0 || b.st.K != 0 {
+		t.Error("counters not reset on agreement")
+	}
+	if a.len() != 3 || b.len() != 3 {
+		t.Error("agreement must not truncate")
+	}
+}
+
+func TestMismatchEntersMeetingPoints(t *testing.T) {
+	a := mkEndpoint(1, 2, 3)
+	b := mkEndpoint(1, 2, 9)
+	exchange(a, b)
+	if a.st.Status != StatusMeetingPoints && b.st.Status != StatusMeetingPoints {
+		t.Fatal("neither endpoint detected the mismatch")
+	}
+}
+
+// TestResolvesDivergence checks the core guarantee: two endpoints whose
+// transcripts share a prefix converge onto a common prefix within O(B)
+// noiseless steps, without rolling back (much) more than the divergence.
+func TestResolvesDivergence(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []uint64
+	}{
+		{"b one ahead", []uint64{1, 2, 3}, []uint64{1, 2, 3, 4}},
+		{"b five ahead", []uint64{1, 2, 3}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{"diverge at 2", []uint64{1, 2, 30, 40}, []uint64{1, 2, 31, 41}},
+		{"diverge at 0", []uint64{9, 9, 9}, []uint64{7, 7, 7}},
+		{"unequal diverge", []uint64{1, 2, 3, 4, 5, 6}, []uint64{1, 2, 99}},
+		{"long common, short tail", mkSeq(1, 64), append(mkSeq(1, 60), 1000, 1001)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := mkEndpoint(tt.a...)
+			b := mkEndpoint(tt.b...)
+			common := commonPrefix(tt.a, tt.b)
+			budget := 20 * (len(tt.a) + len(tt.b) + 2)
+			steps := 0
+			for ; steps < budget; steps++ {
+				exchange(a, b)
+				if a.st.Status == StatusSimulate && b.st.Status == StatusSimulate {
+					break
+				}
+			}
+			if a.st.Status != StatusSimulate || b.st.Status != StatusSimulate {
+				t.Fatalf("no convergence after %d steps (len %d vs %d)", steps, a.len(), b.len())
+			}
+			if a.len() != b.len() {
+				t.Fatalf("converged to different lengths %d vs %d", a.len(), b.len())
+			}
+			for i := 0; i < a.len(); i++ {
+				if a.content[i] != b.content[i] {
+					t.Fatalf("converged but contents differ at %d", i)
+				}
+			}
+			if a.len() > common {
+				t.Fatalf("converged to %d chunks > true common prefix %d", a.len(), common)
+			}
+		})
+	}
+}
+
+func mkSeq(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start + uint64(i)
+	}
+	return out
+}
+
+func commonPrefix(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestDesyncRecovers: if one endpoint's counter is ahead (as after a
+// missed truncation), the HK mismatch path eventually resets both.
+func TestDesyncRecovers(t *testing.T) {
+	a := mkEndpoint(1, 2)
+	b := mkEndpoint(1, 2)
+	a.st.K = 5 // force desync
+	for i := 0; i < 100; i++ {
+		exchange(a, b)
+		if a.st.Status == StatusSimulate && b.st.Status == StatusSimulate {
+			return
+		}
+	}
+	t.Fatalf("desynced endpoints never re-verified: K=%d/%d E=%d/%d",
+		a.st.K, b.st.K, a.st.E, b.st.E)
+}
+
+// TestCorruptedMessagesBoundedDamage: garbage messages never make a state
+// truncate below the true common prefix by more than the mechanism's
+// rollback quantum, and never panic.
+func TestCorruptedMessagesBoundedDamage(t *testing.T) {
+	a := mkEndpoint(1, 2, 3, 4)
+	garbage := Message{HK: 0xffff, H1: 0xaaaa, H2: 0x5555}
+	for i := 0; i < 50; i++ {
+		act := a.st.Step(a.hasher(), a.len(), garbage)
+		if act.TruncateTo >= 0 {
+			t.Fatalf("pure HK-garbage caused truncation at step %d", i)
+		}
+	}
+	// E-dominated state must have reset at scale boundaries.
+	if a.st.K > 64 {
+		t.Errorf("K grew unboundedly under garbage: %d", a.st.K)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusSimulate.String() != "simulate" ||
+		StatusMeetingPoints.String() != "meeting-points" ||
+		Status(0).String() != "unknown" {
+		t.Error("Status.String wrong")
+	}
+}
+
+// TestStepLockstepCounters: in noiseless operation both endpoints keep
+// identical k, so HK always matches.
+func TestStepLockstepCounters(t *testing.T) {
+	a := mkEndpoint(1, 2, 3, 4, 5)
+	b := mkEndpoint(1, 9, 9, 9)
+	for i := 0; i < 40; i++ {
+		exchange(a, b)
+		if a.st.E != 0 || b.st.E != 0 {
+			t.Fatalf("spurious counter desync at step %d: E=%d/%d", i, a.st.E, b.st.E)
+		}
+		if a.st.Status == StatusSimulate && b.st.Status == StatusSimulate {
+			return
+		}
+	}
+	t.Fatal("no convergence")
+}
+
+// TestRandomDivergenceProperty: random pairs of transcripts with a
+// common prefix and arbitrary divergent tails always converge onto a
+// common prefix, within a budget linear in the divergence (times the
+// log-scale overhead), never past the true common prefix.
+func TestRandomDivergenceProperty(t *testing.T) {
+	f := func(seed int64, commonRaw, tailARaw, tailBRaw uint8) bool {
+		common := int(commonRaw) % 40
+		tailA := int(tailARaw) % 20
+		tailB := int(tailBRaw) % 20
+		base := mkSeq(uint64(seed&0xffff)+2, common)
+		ca := append(append([]uint64{}, base...), mkSeq(1e6, tailA)...)
+		cb := append(append([]uint64{}, base...), mkSeq(2e6, tailB)...)
+		a := &endpoint{st: NewState(), content: ca}
+		b := &endpoint{st: NewState(), content: cb}
+		budget := 30 * (tailA + tailB + 2)
+		for i := 0; i < budget; i++ {
+			exchange(a, b)
+			if a.st.Status == StatusSimulate && b.st.Status == StatusSimulate {
+				break
+			}
+		}
+		if a.st.Status != StatusSimulate || b.st.Status != StatusSimulate {
+			t.Logf("seed %d common=%d tails=%d/%d: no convergence", seed, common, tailA, tailB)
+			return false
+		}
+		if a.len() != b.len() || a.len() > common {
+			t.Logf("seed %d: converged to %d/%d, common %d", seed, a.len(), b.len(), common)
+			return false
+		}
+		for i := 0; i < a.len(); i++ {
+			if a.content[i] != b.content[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

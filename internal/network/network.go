@@ -1,0 +1,185 @@
+// Package network is the synchronous round engine of Section 2.1: in each
+// round any subset of parties may transmit one symbol per incident link
+// per direction; the adversary is consulted on every directed link every
+// round (so it can insert into silent slots); deliveries happen at the end
+// of the round, so information travels at one hop per round.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpic/internal/adversary"
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+	"mpic/internal/graph"
+	"mpic/internal/trace"
+)
+
+// Party is one protocol participant driven by the engine.
+//
+// Within a round the engine first collects Send for every outgoing
+// directed link of every party, then applies channel noise, then calls
+// Deliver for every incoming directed link of every party (Silence when
+// nothing arrived). Implementations must not assume any ordering between
+// parties within a round.
+type Party interface {
+	// ID returns the node this party occupies.
+	ID() graph.Node
+	// Send returns the symbol to transmit to neighbor `to` this round;
+	// Silence means the party stays quiet on that link.
+	Send(round int, to graph.Node) bitstring.Symbol
+	// Deliver hands the party what it observed from neighbor `from` this
+	// round (Silence when no symbol arrived).
+	Deliver(round int, from graph.Node, sym bitstring.Symbol)
+}
+
+// RoundEnder is an optional Party extension: EndRound is invoked after all
+// of a round's deliveries, letting phase-structured parties finalize state
+// exactly at phase boundaries.
+type RoundEnder interface {
+	EndRound(round int)
+}
+
+// Engine runs parties over a noisy network.
+type Engine struct {
+	g       *graph.Graph
+	parties []Party
+	adv     adversary.Adversary
+	metrics *trace.Metrics
+	links   []channel.Link // all directed links, deterministic order
+	phaseFn func(round int) trace.Phase
+	// Parallel computes the Send phase concurrently (one goroutine per
+	// party). Results are identical to sequential execution because
+	// parties are independent within a round.
+	Parallel bool
+
+	sendBuf []bitstring.Symbol
+}
+
+// NewEngine wires parties (one per node, indexed by ID) to graph g with
+// the given adversary. The metrics sink may be shared with the caller.
+func NewEngine(g *graph.Graph, parties []Party, adv adversary.Adversary, metrics *trace.Metrics) (*Engine, error) {
+	if len(parties) != g.N() {
+		return nil, fmt.Errorf("network: %d parties for %d nodes", len(parties), g.N())
+	}
+	for i, p := range parties {
+		if p.ID() != graph.Node(i) {
+			return nil, fmt.Errorf("network: party %d has ID %d", i, p.ID())
+		}
+	}
+	if adv == nil {
+		adv = adversary.None{}
+	}
+	if metrics == nil {
+		metrics = &trace.Metrics{}
+	}
+	var links []channel.Link
+	for _, e := range g.Edges() {
+		links = append(links, channel.Link{From: e.U, To: e.V}, channel.Link{From: e.V, To: e.U})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	e := &Engine{
+		g:       g,
+		parties: parties,
+		adv:     adv,
+		metrics: metrics,
+		links:   links,
+		sendBuf: make([]bitstring.Symbol, len(links)),
+	}
+	if ca, ok := adv.(adversary.ContextAware); ok {
+		ca.SetContext(e)
+	}
+	return e, nil
+}
+
+// CC implements adversary.Context.
+func (e *Engine) CC() int64 { return e.metrics.CC }
+
+// Metrics returns the engine's accounting sink.
+func (e *Engine) Metrics() *trace.Metrics { return e.metrics }
+
+// Links returns all directed links in deterministic order.
+func (e *Engine) Links() []channel.Link {
+	out := make([]channel.Link, len(e.links))
+	copy(out, e.links)
+	return out
+}
+
+// SetPhaseFn installs the round → phase attribution used for per-phase CC
+// accounting.
+func (e *Engine) SetPhaseFn(fn func(round int) trace.Phase) { e.phaseFn = fn }
+
+// RunRounds executes rounds [from, to).
+func (e *Engine) RunRounds(from, to int) {
+	for r := from; r < to; r++ {
+		e.step(r)
+	}
+	if to > e.metrics.Rounds {
+		e.metrics.Rounds = to
+	}
+}
+
+func (e *Engine) step(round int) {
+	phase := trace.Phase(-1)
+	if e.phaseFn != nil {
+		phase = e.phaseFn(round)
+	}
+	// Collect phase: every party decides its outgoing symbols based on
+	// deliveries from strictly earlier rounds.
+	if e.Parallel {
+		e.collectParallel(round)
+	} else {
+		for i, l := range e.links {
+			e.sendBuf[i] = e.parties[l.From].Send(round, l.To)
+		}
+	}
+	// Noise + delivery phase.
+	for i, l := range e.links {
+		sent := e.sendBuf[i]
+		if sent != bitstring.Silence {
+			e.metrics.AddTransmission(phase)
+		}
+		recv := e.adv.Corrupt(round, l, sent)
+		if k := channel.Classify(sent, recv); k != channel.KindNone {
+			e.metrics.AddCorruption(k)
+		}
+		e.parties[l.To].Deliver(round, l.From, recv)
+	}
+	for _, p := range e.parties {
+		if re, ok := p.(RoundEnder); ok {
+			re.EndRound(round)
+		}
+	}
+}
+
+// collectParallel gathers sends with one goroutine per party. Each party's
+// outgoing links are contiguous in e.links (sorted by From), so goroutines
+// write disjoint regions of sendBuf.
+func (e *Engine) collectParallel(round int) {
+	// Compute per-party link ranges once.
+	var wg sync.WaitGroup
+	start := 0
+	for start < len(e.links) {
+		from := e.links[start].From
+		end := start
+		for end < len(e.links) && e.links[end].From == from {
+			end++
+		}
+		wg.Add(1)
+		go func(s, t int, p Party) {
+			defer wg.Done()
+			for i := s; i < t; i++ {
+				e.sendBuf[i] = p.Send(round, e.links[i].To)
+			}
+		}(start, end, e.parties[from])
+		start = end
+	}
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+// Package potential computes the progress measure of Section 4.1 from
+// oracle snapshots of a run: per-link agreement G_{u,v}, divergence
+// B_{u,v}, the global extremes G*, H*, B*, and the aggregate potential φ.
+// The meeting-points term ϕ_{u,v} of Eq. (6) is replaced by a documented
+// proxy (the appendix defining it is not in the available text); the
+// package is instrumentation for tests and experiments, not part of the
+// protocol.
+package potential
+
+// EdgeState is the oracle's view of one link at an iteration boundary.
+type EdgeState struct {
+	// LenU and LenV are |T_{u,v}| and |T_{v,u}| in chunks.
+	LenU, LenV int
+	// Common is G_{u,v}: the longest common prefix, in chunks.
+	Common int
+	// InMPU and InMPV report whether each endpoint is in meeting-points
+	// status on this link.
+	InMPU, InMPV bool
+	// KU and KV are the endpoints' meeting-point counters.
+	KU, KV int
+}
+
+// B returns B_{u,v} = max(|T_{u,v}|, |T_{v,u}|) − G_{u,v} (Eq. 2).
+func (e EdgeState) B() int {
+	m := e.LenU
+	if e.LenV > m {
+		m = e.LenV
+	}
+	return m - e.Common
+}
+
+// Constants of Eq. (6). C1 must exceed 2; C7 must dominate the per-link
+// constants. The proxy uses small concrete values; only ratios matter for
+// the qualitative claims the experiments check.
+const (
+	C1 = 2.0
+	C7 = 100.0
+)
+
+// Snapshot is the potential state at one iteration boundary.
+type Snapshot struct {
+	Iteration int
+	// GStar is min G_{u,v}: chunks the whole network agrees on.
+	GStar int
+	// HStar is the largest chunk count any endpoint believes.
+	HStar int
+	// BStar = HStar − GStar.
+	BStar int
+	// SumG is Σ G_{u,v} over links.
+	SumG int
+	// SumB is Σ B_{u,v} over links.
+	SumB int
+	// MeetingLinks counts links with at least one endpoint in
+	// meeting-points status.
+	MeetingLinks int
+	// EHC is the errors-plus-hash-collisions count fed by the caller.
+	EHC int64
+	// Phi is the aggregate potential of Eq. (6) with the proxy ϕ term.
+	Phi float64
+}
+
+// Compute derives a snapshot from per-edge states. k is the chunk
+// parameter K; m the number of links; ehc the cumulative count of errors
+// and oracle-detected hash collisions.
+func Compute(iter int, edges []EdgeState, k, m int, ehc int64) Snapshot {
+	s := Snapshot{Iteration: iter, EHC: ehc, GStar: -1}
+	var phiMP float64
+	for _, e := range edges {
+		if s.GStar < 0 || e.Common < s.GStar {
+			s.GStar = e.Common
+		}
+		if e.LenU > s.HStar {
+			s.HStar = e.LenU
+		}
+		if e.LenV > s.HStar {
+			s.HStar = e.LenV
+		}
+		s.SumG += e.Common
+		s.SumB += e.B()
+		if e.InMPU || e.InMPV {
+			s.MeetingLinks++
+		}
+		// Proxy for ϕ_{u,v}: divergence plus outstanding meeting-points
+		// work. Zero iff the link is fully synchronized and idle, which
+		// is the property the analysis needs (Proposition A.2).
+		phiMP += float64(e.B()) + float64(e.KU+e.KV)/2
+	}
+	if s.GStar < 0 {
+		s.GStar = 0
+	}
+	s.BStar = s.HStar - s.GStar
+	// Eq. (6): φ = Σ((K/m)·G_{u,v} − K·ϕ_{u,v}) − C1·K·B* + C7·K·EHC.
+	kf := float64(k)
+	s.Phi = kf/float64(m)*float64(s.SumG) - kf*phiMP - C1*kf*float64(s.BStar) + C7*kf*float64(s.EHC)
+	return s
+}

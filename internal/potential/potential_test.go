@@ -1,0 +1,109 @@
+package potential
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeStateB(t *testing.T) {
+	tests := []struct {
+		name string
+		e    EdgeState
+		want int
+	}{
+		{"synced", EdgeState{LenU: 5, LenV: 5, Common: 5}, 0},
+		{"one ahead", EdgeState{LenU: 6, LenV: 5, Common: 5}, 1},
+		{"diverged", EdgeState{LenU: 6, LenV: 6, Common: 3}, 3},
+		{"empty", EdgeState{}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.e.B(); got != tt.want {
+			t.Errorf("%s: B() = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestComputeSyncedNetwork(t *testing.T) {
+	edges := []EdgeState{
+		{LenU: 4, LenV: 4, Common: 4},
+		{LenU: 4, LenV: 4, Common: 4},
+	}
+	s := Compute(7, edges, 10, 2, 0)
+	if s.Iteration != 7 {
+		t.Error("iteration not recorded")
+	}
+	if s.GStar != 4 || s.HStar != 4 || s.BStar != 0 {
+		t.Errorf("G*=%d H*=%d B*=%d, want 4/4/0", s.GStar, s.HStar, s.BStar)
+	}
+	if s.SumG != 8 || s.SumB != 0 || s.MeetingLinks != 0 {
+		t.Errorf("SumG=%d SumB=%d Meeting=%d", s.SumG, s.SumB, s.MeetingLinks)
+	}
+	// φ = (K/m)·ΣG = (10/2)·8 = 40 with everything else zero.
+	if s.Phi != 40 {
+		t.Errorf("Phi = %f, want 40", s.Phi)
+	}
+}
+
+func TestComputeDivergentNetwork(t *testing.T) {
+	edges := []EdgeState{
+		{LenU: 6, LenV: 4, Common: 4, InMPU: true, KU: 3},
+		{LenU: 5, LenV: 5, Common: 5},
+	}
+	s := Compute(0, edges, 10, 2, 1)
+	if s.GStar != 4 {
+		t.Errorf("GStar = %d, want 4", s.GStar)
+	}
+	if s.HStar != 6 {
+		t.Errorf("HStar = %d, want 6", s.HStar)
+	}
+	if s.BStar != 2 {
+		t.Errorf("BStar = %d, want 2", s.BStar)
+	}
+	if s.MeetingLinks != 1 {
+		t.Errorf("MeetingLinks = %d, want 1", s.MeetingLinks)
+	}
+	if s.EHC != 1 {
+		t.Error("EHC not carried through")
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	s := Compute(0, nil, 10, 1, 0)
+	if s.GStar != 0 || s.HStar != 0 || s.BStar != 0 {
+		t.Error("empty network should be all zeros")
+	}
+}
+
+// Property: progress monotonicity — extending every link by one agreed
+// chunk increases φ by exactly K (the Lemma 4.2 noiseless step).
+func TestComputeProgressStep(t *testing.T) {
+	f := func(lensRaw []uint8) bool {
+		if len(lensRaw) == 0 || len(lensRaw) > 20 {
+			return true
+		}
+		before := make([]EdgeState, len(lensRaw))
+		after := make([]EdgeState, len(lensRaw))
+		for i, l := range lensRaw {
+			n := int(l % 50)
+			before[i] = EdgeState{LenU: n, LenV: n, Common: n}
+			after[i] = EdgeState{LenU: n + 1, LenV: n + 1, Common: n + 1}
+		}
+		k, m := 15, len(lensRaw)
+		d := Compute(1, after, k, m, 0).Phi - Compute(0, before, k, m, 0).Phi
+		// (K/m)·m = K exactly... up to float error.
+		return d > float64(k)-1e-6 && d < float64(k)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: divergence hurts — for a fixed ΣG, any positive B* yields a
+// strictly lower φ than the synchronized state.
+func TestComputeDivergencePenalty(t *testing.T) {
+	synced := []EdgeState{{LenU: 10, LenV: 10, Common: 10}}
+	diverged := []EdgeState{{LenU: 12, LenV: 10, Common: 10}}
+	if Compute(0, diverged, 10, 1, 0).Phi >= Compute(0, synced, 10, 1, 0).Phi {
+		t.Error("divergence did not lower the potential")
+	}
+}

@@ -1,0 +1,217 @@
+package protocol
+
+import (
+	"mpic/internal/channel"
+	"mpic/internal/graph"
+)
+
+// Slot is one transmission position on an undirected link within a chunk:
+// the unit of transcript storage. Both endpoints enumerate the slots of a
+// link in identical (schedule) order, so their transcripts are comparable
+// position by position.
+type Slot struct {
+	// RelRound is the round offset from the chunk's start.
+	RelRound int
+	// Tx is the directed transmission occupying the slot.
+	Tx Transmission
+	// Seq is the per-directed-link sequence number of the transmission.
+	Seq int
+}
+
+// ChunkSpec describes one chunk: a maximal run of consecutive rounds whose
+// total communication does not exceed the chunk budget (Section 3.2).
+type ChunkSpec struct {
+	// Index is the 1-based chunk number (chunk numbers start at 1 so a
+	// transcript containing any chunk differs from the empty string even
+	// after zero-padding; see footnote 11).
+	Index int
+	// StartRound and EndRound delimit the Π rounds covered: [Start, End).
+	StartRound, EndRound int
+	// Bits is the total communication in the chunk.
+	Bits int
+	// LinkSlots lists each undirected link's slots in schedule order.
+	LinkSlots map[graph.Edge][]Slot
+	// roundIdx maps, per edge and relative round, the slot indices in each
+	// direction: [0] is U→V (canonical), [1] is V→U; -1 means no slot.
+	roundIdx map[graph.Edge]map[int][2]int
+}
+
+// buildRoundIndex populates roundIdx; called once at construction so the
+// spec is safe for concurrent readers afterwards.
+func (c *ChunkSpec) buildRoundIndex() {
+	c.roundIdx = make(map[graph.Edge]map[int][2]int, len(c.LinkSlots))
+	for e, slots := range c.LinkSlots {
+		byRound := make(map[int][2]int)
+		for i, s := range slots {
+			entry, ok := byRound[s.RelRound]
+			if !ok {
+				entry = [2]int{-1, -1}
+			}
+			dir := 0
+			if s.Tx.From == e.V {
+				dir = 1
+			}
+			entry[dir] = i
+			byRound[s.RelRound] = entry
+		}
+		c.roundIdx[e] = byRound
+	}
+}
+
+// SlotAt returns the index into LinkSlots[e] of the transmission at
+// relative round rel going from `from`, or -1 if none is scheduled.
+func (c *ChunkSpec) SlotAt(e graph.Edge, rel int, from graph.Node) int {
+	byRound, ok := c.roundIdx[e]
+	if !ok {
+		return -1
+	}
+	entry, ok := byRound[rel]
+	if !ok {
+		return -1
+	}
+	if from == e.U {
+		return entry[0]
+	}
+	return entry[1]
+}
+
+// Rounds returns the number of Π rounds the chunk spans.
+func (c *ChunkSpec) Rounds() int { return c.EndRound - c.StartRound }
+
+// SeqLoc locates a transmission inside the chunked transcript space.
+type SeqLoc struct {
+	// Chunk is the 1-based chunk index.
+	Chunk int
+	// Pos is the slot position within the chunk's LinkSlots entry for the
+	// transmission's undirected link.
+	Pos int
+}
+
+// Chunking partitions a schedule into chunks of at most chunkBits bits,
+// greedily packing whole rounds (the paper packs rounds until the next
+// round would overflow the 5K budget).
+type Chunking struct {
+	// Sched is the underlying schedule.
+	Sched *Schedule
+	// ChunkBits is the per-chunk communication budget (the paper's 5K).
+	ChunkBits int
+	// Specs holds the real chunks; Specs[i] has Index i+1.
+	Specs []*ChunkSpec
+	// MaxChunkRounds is the longest chunk's round span, which fixes the
+	// simulation phase length.
+	MaxChunkRounds int
+	// MaxSlotsPerLink is the largest number of slots any link has in any
+	// chunk (including the dummy chunk), used to size hash inputs.
+	MaxSlotsPerLink int
+
+	g     *graph.Graph
+	dummy *ChunkSpec
+	locs  map[channel.Link][]SeqLoc
+}
+
+// NewChunking chunks the schedule of p into chunks of at most chunkBits
+// bits each. chunkBits must be at least the largest single round's
+// communication or that round becomes a chunk by itself.
+func NewChunking(p Protocol, chunkBits int) *Chunking {
+	sched := p.Schedule()
+	g := p.Graph()
+	c := &Chunking{
+		Sched:     sched,
+		ChunkBits: chunkBits,
+		g:         g,
+		locs:      make(map[channel.Link][]SeqLoc),
+	}
+	seq := make(map[channel.Link]int)
+	var cur *ChunkSpec
+	flush := func(end int) {
+		if cur == nil {
+			return
+		}
+		cur.EndRound = end
+		c.Specs = append(c.Specs, cur)
+		if cur.Rounds() > c.MaxChunkRounds {
+			c.MaxChunkRounds = cur.Rounds()
+		}
+		for _, slots := range cur.LinkSlots {
+			if len(slots) > c.MaxSlotsPerLink {
+				c.MaxSlotsPerLink = len(slots)
+			}
+		}
+		cur = nil
+	}
+	for r := 0; r < sched.Rounds(); r++ {
+		bits := len(sched.At(r))
+		if cur != nil && cur.Bits+bits > chunkBits {
+			flush(r)
+		}
+		if cur == nil {
+			cur = &ChunkSpec{
+				Index:      len(c.Specs) + 1,
+				StartRound: r,
+				LinkSlots:  make(map[graph.Edge][]Slot),
+			}
+		}
+		for _, tx := range sched.At(r) {
+			l := tx.Link()
+			e := graph.Edge{U: tx.From, V: tx.To}.Canonical()
+			slot := Slot{RelRound: r - cur.StartRound, Tx: tx, Seq: seq[l]}
+			c.locs[l] = append(c.locs[l], SeqLoc{Chunk: cur.Index, Pos: len(cur.LinkSlots[e])})
+			cur.LinkSlots[e] = append(cur.LinkSlots[e], slot)
+			seq[l]++
+			cur.Bits++
+		}
+	}
+	flush(sched.Rounds())
+	for _, spec := range c.Specs {
+		spec.buildRoundIndex()
+	}
+
+	// Dummy padding chunk (Section 3.2): one round in which every link
+	// carries one bit in each direction, content fixed to zero. Used for
+	// chunk indices past |Π| so the simulation can keep making progress
+	// while stragglers catch up.
+	dummy := &ChunkSpec{StartRound: 0, EndRound: 1, LinkSlots: make(map[graph.Edge][]Slot)}
+	for _, e := range g.Edges() {
+		dummy.LinkSlots[e] = []Slot{
+			{RelRound: 0, Tx: Transmission{From: e.U, To: e.V}},
+			{RelRound: 0, Tx: Transmission{From: e.V, To: e.U}},
+		}
+		dummy.Bits += 2
+	}
+	dummy.buildRoundIndex()
+	c.dummy = dummy
+	if c.MaxSlotsPerLink < 2 {
+		c.MaxSlotsPerLink = 2
+	}
+	if c.MaxChunkRounds < 1 {
+		c.MaxChunkRounds = 1
+	}
+	return c
+}
+
+// NumChunks returns |Π| in chunks (the real chunks, excluding padding).
+func (c *Chunking) NumChunks() int { return len(c.Specs) }
+
+// Spec returns the chunk spec for 1-based index i; indices past the real
+// protocol return the dummy padding chunk (with Index set accordingly).
+func (c *Chunking) Spec(i int) *ChunkSpec {
+	if i >= 1 && i <= len(c.Specs) {
+		return c.Specs[i-1]
+	}
+	d := *c.dummy
+	d.Index = i
+	return &d
+}
+
+// IsDummy reports whether chunk index i is padding.
+func (c *Chunking) IsDummy(i int) bool { return i < 1 || i > len(c.Specs) }
+
+// Locate maps a directed transmission (link, seq) to its chunk and slot
+// position; ok is false if seq is out of range.
+func (c *Chunking) Locate(l channel.Link, seq int) (SeqLoc, bool) {
+	locs := c.locs[l]
+	if seq < 0 || seq >= len(locs) {
+		return SeqLoc{}, false
+	}
+	return locs[seq], true
+}

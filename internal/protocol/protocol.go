@@ -1,0 +1,123 @@
+// Package protocol models the noiseless protocols Π the coding schemes
+// simulate: synchronous protocols over a network G with a fixed,
+// input-independent order of speaking (Section 2.1). Only message
+// *content* may depend on inputs and observed history.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+	"mpic/internal/graph"
+)
+
+// Transmission is one scheduled symbol: From sends one bit to To.
+type Transmission struct {
+	From, To graph.Node
+}
+
+// Link returns the directed link the transmission uses.
+func (t Transmission) Link() channel.Link { return channel.Link{From: t.From, To: t.To} }
+
+// Schedule is the fixed speaking order of a protocol: for every round, the
+// set of directed transmissions that occur. It is known to all parties
+// and independent of inputs — the standing assumption of the paper.
+type Schedule struct {
+	rounds   [][]Transmission
+	txRounds map[channel.Link][]int // per directed link: rounds of its transmissions, ascending
+	total    int
+}
+
+// NewSchedule builds a schedule from per-round transmissions. Within each
+// round, transmissions are normalized to a deterministic order.
+func NewSchedule(rounds [][]Transmission) *Schedule {
+	s := &Schedule{
+		rounds:   rounds,
+		txRounds: make(map[channel.Link][]int),
+	}
+	for r, txs := range rounds {
+		sort.Slice(txs, func(i, j int) bool {
+			if txs[i].From != txs[j].From {
+				return txs[i].From < txs[j].From
+			}
+			return txs[i].To < txs[j].To
+		})
+		for _, tx := range txs {
+			l := tx.Link()
+			s.txRounds[l] = append(s.txRounds[l], r)
+			s.total++
+		}
+	}
+	return s
+}
+
+// Rounds returns the number of rounds.
+func (s *Schedule) Rounds() int { return len(s.rounds) }
+
+// At returns the transmissions of round r (owned by the schedule).
+func (s *Schedule) At(r int) []Transmission { return s.rounds[r] }
+
+// TotalBits returns the communication complexity CC(Π) in bits.
+func (s *Schedule) TotalBits() int { return s.total }
+
+// CountOn returns the total number of transmissions on a directed link.
+func (s *Schedule) CountOn(l channel.Link) int { return len(s.txRounds[l]) }
+
+// CountBefore returns how many transmissions occur on directed link l in
+// rounds strictly before r — i.e. the sequence number the next
+// transmission on l would get.
+func (s *Schedule) CountBefore(l channel.Link, r int) int {
+	rs := s.txRounds[l]
+	return sort.SearchInts(rs, r)
+}
+
+// Validate checks every transmission uses an existing link of g.
+func (s *Schedule) Validate(g *graph.Graph) error {
+	for r, txs := range s.rounds {
+		for _, tx := range txs {
+			if !g.HasEdge(tx.From, tx.To) {
+				return fmt.Errorf("protocol: round %d transmission %v uses a non-edge", r, tx)
+			}
+		}
+	}
+	return nil
+}
+
+// View is what one party has observed: its input plus, for each incident
+// directed link, the symbols of that link's transmissions so far. A party
+// sees its own sent bits on outgoing links and the (possibly corrupted)
+// received symbols on incoming links; positions not yet observed read as
+// Silence.
+type View interface {
+	// Self returns the observing party.
+	Self() graph.Node
+	// Input returns the party's private input.
+	Input() []byte
+	// Observed returns the symbol recorded for the seq-th transmission on
+	// directed link l, or Silence if it is unknown. l must be incident to
+	// Self.
+	Observed(l channel.Link, seq int) bitstring.Symbol
+}
+
+// Protocol is a noiseless multiparty protocol with a fixed speaking order.
+//
+// SendBit must be a deterministic function of the view restricted to
+// observations from rounds strictly before r — that is what lets the
+// coding schemes re-simulate a chunk after a rewind.
+type Protocol interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Graph returns the topology Π runs over.
+	Graph() *graph.Graph
+	// Schedule returns the fixed speaking order.
+	Schedule() *Schedule
+	// Input returns party p's input.
+	Input(p graph.Node) []byte
+	// SendBit computes the bit tx.From sends for the seq-th transmission
+	// on tx's link, occurring at round r.
+	SendBit(v View, r int, tx Transmission, seq int) byte
+	// Output computes the party's final output from its view.
+	Output(v View) []byte
+}

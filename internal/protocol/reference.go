@@ -1,0 +1,90 @@
+package protocol
+
+import (
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+	"mpic/internal/graph"
+)
+
+// MapView is a concrete View backed by per-link symbol slices. It is used
+// for noiseless reference executions and in tests.
+type MapView struct {
+	self  graph.Node
+	input []byte
+	obs   map[channel.Link][]bitstring.Symbol
+}
+
+// NewMapView returns an empty view for party self with the given input.
+func NewMapView(self graph.Node, input []byte) *MapView {
+	return &MapView{self: self, input: input, obs: make(map[channel.Link][]bitstring.Symbol)}
+}
+
+// Self implements View.
+func (v *MapView) Self() graph.Node { return v.self }
+
+// Input implements View.
+func (v *MapView) Input() []byte { return v.input }
+
+// Observed implements View.
+func (v *MapView) Observed(l channel.Link, seq int) bitstring.Symbol {
+	syms := v.obs[l]
+	if seq < 0 || seq >= len(syms) {
+		return bitstring.Silence
+	}
+	return syms[seq]
+}
+
+// Record appends an observation for directed link l.
+func (v *MapView) Record(l channel.Link, s bitstring.Symbol) {
+	v.obs[l] = append(v.obs[l], s)
+}
+
+// Reference is the result of a noiseless execution of Π.
+type Reference struct {
+	// Outputs holds each party's output.
+	Outputs [][]byte
+	// LinkBits holds, per directed link, the bits transmitted in schedule
+	// order.
+	LinkBits map[channel.Link][]byte
+	// Views holds each party's complete noiseless view.
+	Views []*MapView
+}
+
+// RunReference executes Π over a noiseless network and returns every
+// party's view and output — the ground truth the coded simulations are
+// judged against.
+func RunReference(p Protocol) *Reference {
+	g := p.Graph()
+	sched := p.Schedule()
+	views := make([]*MapView, g.N())
+	for i := 0; i < g.N(); i++ {
+		views[i] = NewMapView(graph.Node(i), p.Input(graph.Node(i)))
+	}
+	ref := &Reference{
+		LinkBits: make(map[channel.Link][]byte),
+		Views:    views,
+	}
+	seq := make(map[channel.Link]int)
+	for r := 0; r < sched.Rounds(); r++ {
+		txs := sched.At(r)
+		// Synchronous semantics: compute all of this round's bits from
+		// strictly earlier observations, then commit.
+		bits := make([]byte, len(txs))
+		for i, tx := range txs {
+			bits[i] = p.SendBit(views[tx.From], r, tx, seq[tx.Link()]) & 1
+			seq[tx.Link()]++
+		}
+		for i, tx := range txs {
+			l := tx.Link()
+			sym := bitstring.SymbolFromBit(bits[i])
+			views[tx.From].Record(l, sym)
+			views[tx.To].Record(l, sym)
+			ref.LinkBits[l] = append(ref.LinkBits[l], bits[i])
+		}
+	}
+	ref.Outputs = make([][]byte, g.N())
+	for i := 0; i < g.N(); i++ {
+		ref.Outputs[i] = p.Output(views[i])
+	}
+	return ref
+}

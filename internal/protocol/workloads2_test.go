@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mpic/internal/graph"
+)
+
+func TestPhaseKingAgreement(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 7} {
+		p := NewPhaseKing(n, n, DefaultInputs(n, 4, int64(n)))
+		ref := RunReference(p)
+		first := ref.Outputs[0]
+		if len(first) != 1 {
+			t.Fatalf("n=%d: output width %d, want 1", n, len(first))
+		}
+		for i, out := range ref.Outputs {
+			if !bytes.Equal(out, first) {
+				t.Fatalf("n=%d: party %d decided %v, party 0 decided %v", n, i, out, first)
+			}
+		}
+	}
+}
+
+func TestPhaseKingUnanimityPreserved(t *testing.T) {
+	// If all parties start with the same bit, the decision must be that
+	// bit (validity).
+	n := 5
+	ones := make([][]byte, n)
+	zeros := make([][]byte, n)
+	for i := range ones {
+		ones[i] = []byte{1} // parity 1
+		zeros[i] = []byte{0}
+	}
+	if got := RunReference(NewPhaseKing(n, n, ones)).Outputs[0][0]; got != 1 {
+		t.Errorf("unanimous 1 decided %d", got)
+	}
+	if got := RunReference(NewPhaseKing(n, n, zeros)).Outputs[0][0]; got != 0 {
+		t.Errorf("unanimous 0 decided %d", got)
+	}
+}
+
+// Property: phase king always reaches agreement regardless of inputs.
+func TestPhaseKingAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 3
+		p := NewPhaseKing(n, n, DefaultInputs(n, 3, seed))
+		ref := RunReference(p)
+		for _, out := range ref.Outputs {
+			if !bytes.Equal(out, ref.Outputs[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseKingScheduleShape(t *testing.T) {
+	n, phases := 4, 3
+	p := NewPhaseKing(n, phases, nil)
+	if p.Schedule().Rounds() != 2*phases {
+		t.Fatalf("rounds = %d, want %d", p.Schedule().Rounds(), 2*phases)
+	}
+	want := phases * (n*(n-1) + (n - 1))
+	if p.Schedule().TotalBits() != want {
+		t.Fatalf("TotalBits = %d, want %d", p.Schedule().TotalBits(), want)
+	}
+	if err := p.Schedule().Validate(p.Graph()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullyUtilizedSchedule(t *testing.T) {
+	g := graph.Line(4)
+	inner := NewRandom(g, 20, 0.3, 1, nil)
+	fu := NewFullyUtilized(inner)
+	if fu.Schedule().Rounds() != inner.Schedule().Rounds() {
+		t.Fatal("round count changed")
+	}
+	want := inner.Schedule().Rounds() * 2 * g.M()
+	if fu.Schedule().TotalBits() != want {
+		t.Fatalf("TotalBits = %d, want %d (every link both ways every round)", fu.Schedule().TotalBits(), want)
+	}
+	if err := fu.Schedule().Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullyUtilizedPreservesSemantics: the wrapped protocol computes the
+// same outputs as the original.
+func TestFullyUtilizedPreservesSemantics(t *testing.T) {
+	g := graph.Ring(4)
+	inner := NewRandom(g, 25, 0.4, 9, DefaultInputs(4, 4, 9))
+	fu := NewFullyUtilized(inner)
+	refInner := RunReference(inner)
+	refFU := RunReference(fu)
+	for i := range refInner.Outputs {
+		if !bytes.Equal(refInner.Outputs[i], refFU.Outputs[i]) {
+			t.Fatalf("party %d: fully-utilized output differs from original", i)
+		}
+	}
+	if fu.Name() == inner.Name() {
+		t.Error("wrapper should rename the protocol")
+	}
+	if !bytes.Equal(fu.Input(1), inner.Input(1)) {
+		t.Error("inputs must pass through")
+	}
+}
+
+// TestFullyUtilizedInflation: on sparse protocols the conversion costs
+// close to a factor of 2m/(avg transmissions per round) — the Section 1
+// observation that motivates the relaxed model.
+func TestFullyUtilizedInflation(t *testing.T) {
+	ring := mustTokenRing(t, 8, 3) // ring of 8: m = 8, 1 bit per round
+	fuRing := NewFullyUtilized(ring)
+	innerBits := ring.Schedule().TotalBits()
+	fuBits := fuRing.Schedule().TotalBits()
+	// Token ring sends 1 bit per round; fully-utilized sends 2m = 16.
+	if fuBits != 16*innerBits {
+		t.Fatalf("inflation = %d/%d, want factor 16", fuBits, innerBits)
+	}
+}
+
+func mustTokenRing(t *testing.T, n, laps int) *TokenRing {
+	t.Helper()
+	p, err := NewTokenRing(n, laps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

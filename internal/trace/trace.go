@@ -1,0 +1,95 @@
+// Package trace collects the accounting every experiment reads off a run:
+// communication per phase, corruption counts by kind, hash-collision
+// oracle counts, and per-iteration snapshots when requested.
+package trace
+
+import "mpic/internal/channel"
+
+// Phase identifies which part of the coding scheme a round belongs to.
+type Phase int
+
+const (
+	// PhaseExchange is the randomness-exchange preamble (Algorithm 5).
+	PhaseExchange Phase = iota
+	// PhaseMeetingPoints is the consistency-check phase.
+	PhaseMeetingPoints
+	// PhaseFlagPassing is the spanning-tree flag phase (Algorithm 3).
+	PhaseFlagPassing
+	// PhaseSimulation is the chunk-simulation phase.
+	PhaseSimulation
+	// PhaseRewind is the rewind-request phase.
+	PhaseRewind
+	// NumPhases is the number of distinct phases.
+	NumPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseExchange:
+		return "exchange"
+	case PhaseMeetingPoints:
+		return "meeting-points"
+	case PhaseFlagPassing:
+		return "flag-passing"
+	case PhaseSimulation:
+		return "simulation"
+	case PhaseRewind:
+		return "rewind"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics accumulates counters over one run. The zero value is ready to
+// use.
+type Metrics struct {
+	// CC is the total number of symbols transmitted by parties (the
+	// paper's communication complexity; insertions do not count).
+	CC int64
+	// CCPhase breaks CC down by phase.
+	CCPhase [NumPhases]int64
+	// Rounds is the number of network rounds executed.
+	Rounds int
+	// Corruptions counts noise events by kind (substitution, deletion,
+	// insertion — indexed by channel.Kind).
+	Corruptions [4]int64
+	// HashCollisions counts oracle-detected true hash collisions: hash
+	// comparisons that matched while the underlying transcripts differed.
+	HashCollisions int64
+	// HashComparisons counts all oracle-checked hash comparisons.
+	HashComparisons int64
+	// Iterations is the number of scheme iterations executed.
+	Iterations int
+	// IdleIterations counts iterations where the network flag was "idle".
+	IdleIterations int
+}
+
+// TotalCorruptions returns the number of corrupted transmissions.
+func (m *Metrics) TotalCorruptions() int64 {
+	return m.Corruptions[channel.KindSubstitution] +
+		m.Corruptions[channel.KindDeletion] +
+		m.Corruptions[channel.KindInsertion]
+}
+
+// NoiseFraction returns corruptions divided by CC, the paper's noise
+// fraction µ. Returns 0 for an empty run.
+func (m *Metrics) NoiseFraction() float64 {
+	if m.CC == 0 {
+		return 0
+	}
+	return float64(m.TotalCorruptions()) / float64(m.CC)
+}
+
+// AddTransmission records one party transmission in the given phase.
+func (m *Metrics) AddTransmission(p Phase) {
+	m.CC++
+	if p >= 0 && p < NumPhases {
+		m.CCPhase[p]++
+	}
+}
+
+// AddCorruption records one noise event.
+func (m *Metrics) AddCorruption(k channel.Kind) {
+	m.Corruptions[k]++
+}

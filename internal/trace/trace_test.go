@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"testing"
+
+	"mpic/internal/channel"
+)
+
+func TestMetricsAccounting(t *testing.T) {
+	var m Metrics
+	m.AddTransmission(PhaseSimulation)
+	m.AddTransmission(PhaseSimulation)
+	m.AddTransmission(PhaseRewind)
+	m.AddTransmission(Phase(-1)) // unattributed still counts toward CC
+	if m.CC != 4 {
+		t.Errorf("CC = %d, want 4", m.CC)
+	}
+	if m.CCPhase[PhaseSimulation] != 2 || m.CCPhase[PhaseRewind] != 1 {
+		t.Error("phase attribution wrong")
+	}
+	m.AddCorruption(channel.KindDeletion)
+	m.AddCorruption(channel.KindInsertion)
+	m.AddCorruption(channel.KindSubstitution)
+	if m.TotalCorruptions() != 3 {
+		t.Errorf("TotalCorruptions = %d, want 3", m.TotalCorruptions())
+	}
+	if got := m.NoiseFraction(); got != 0.75 {
+		t.Errorf("NoiseFraction = %f, want 0.75", got)
+	}
+}
+
+func TestNoiseFractionEmptyRun(t *testing.T) {
+	var m Metrics
+	if m.NoiseFraction() != 0 {
+		t.Error("empty run should have zero noise fraction")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		PhaseExchange: "exchange", PhaseMeetingPoints: "meeting-points",
+		PhaseFlagPassing: "flag-passing", PhaseSimulation: "simulation",
+		PhaseRewind: "rewind", Phase(99): "unknown",
+	} {
+		if p.String() != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package mpic is a Go implementation of the multiparty interactive
+// coding schemes of Gelles, Kalai and Ramnarayan, "Efficient Multiparty
+// Interactive Coding for Insertions, Deletions and Substitutions"
+// (PODC 2019, arXiv:1901.09863).
+//
+// Given any noiseless multiparty protocol Π with a fixed speaking order
+// over an arbitrary connected topology, the library produces a simulation
+// of Π that tolerates adversarial insertion, deletion and substitution
+// noise with only a constant-factor communication blowup:
+//
+//   - AlgorithmA tolerates an ε/m fraction of oblivious noise with no
+//     pre-shared randomness (m = number of links),
+//   - AlgorithmB tolerates ε/(m log m) fully adaptive noise,
+//   - AlgorithmC tolerates ε/(m log log m) adaptive noise when the
+//     parties pre-share a common random string,
+//   - Algorithm1 is the CRS + oblivious-noise base scheme.
+//
+// The simplest entry point is Run with a Config:
+//
+//	res, err := mpic.Run(mpic.Config{
+//	    Topology: "line", N: 6,
+//	    Workload: "random", WorkloadRounds: 120,
+//	    Scheme:   mpic.AlgorithmA,
+//	    Noise:    "random", NoiseRate: 0.002,
+//	})
+//
+// Advanced callers can assemble runs from the underlying pieces via
+// NewWorkload and the re-exported option types.
+package mpic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpic/internal/adversary"
+	"mpic/internal/baseline"
+	"mpic/internal/bitstring"
+	"mpic/internal/channel"
+	"mpic/internal/core"
+	"mpic/internal/graph"
+	"mpic/internal/protocol"
+)
+
+// Scheme selects one of the paper's coding schemes.
+type Scheme = core.Scheme
+
+// The four schemes of the paper (see package doc).
+const (
+	Algorithm1 = core.Alg1
+	AlgorithmA = core.AlgA
+	AlgorithmB = core.AlgB
+	AlgorithmC = core.AlgC
+)
+
+// Result is the outcome of a coded run: success against the noiseless
+// reference, communication accounting, and oracle instrumentation.
+type Result = core.Result
+
+// Params exposes the full scheme parameterization for advanced use.
+type Params = core.Params
+
+// Protocol is a noiseless multiparty protocol with a fixed speaking
+// order; implement it to simulate your own workloads. The aliases below
+// re-export everything an implementation needs.
+type Protocol = protocol.Protocol
+
+// Protocol-authoring building blocks.
+type (
+	// Graph is a connected simple topology.
+	Graph = graph.Graph
+	// Node identifies a party.
+	Node = graph.Node
+	// Schedule is a fixed speaking order.
+	Schedule = protocol.Schedule
+	// Transmission is one scheduled bit: From sends to To.
+	Transmission = protocol.Transmission
+	// View is a party's observations (input + per-link symbols).
+	View = protocol.View
+	// Link is a directed link, used to address observations.
+	Link = channel.Link
+	// Symbol is a channel symbol: 0, 1, or Silence.
+	Symbol = bitstring.Symbol
+)
+
+// Channel symbols.
+const (
+	// Sym0 is the bit 0.
+	Sym0 = bitstring.Sym0
+	// Sym1 is the bit 1.
+	Sym1 = bitstring.Sym1
+	// Silence is the "no message" symbol.
+	Silence = bitstring.Silence
+)
+
+// NewSchedule builds a speaking order from per-round transmissions.
+func NewSchedule(rounds [][]Transmission) *Schedule { return protocol.NewSchedule(rounds) }
+
+// NewGraph returns an empty topology on n nodes; add links with AddEdge
+// and finish with Validate.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// BaselineResult is the outcome of an uncoded or naive-FEC run.
+type BaselineResult = baseline.Result
+
+// Config describes a run in terms of named building blocks.
+type Config struct {
+	// Topology is one of "line", "ring", "star", "clique", "tree",
+	// "random".
+	Topology string
+	// N is the number of parties.
+	N int
+	// Workload is one of "random", "pipelined-line", "tree-sum",
+	// "token-ring".
+	Workload string
+	// WorkloadRounds scales the workload (defaults to 30·N).
+	WorkloadRounds int
+	// Scheme selects the coding scheme (default AlgorithmA).
+	Scheme Scheme
+	// Noise is one of "none", "random", "burst", "adaptive".
+	Noise string
+	// NoiseRate is the corruption budget as a fraction of total
+	// communication (the paper's µ).
+	NoiseRate float64
+	// Seed makes the run reproducible (inputs, noise, and randomness).
+	Seed int64
+	// IterFactor bounds iterations at IterFactor·|Π| (default 100, the
+	// paper's constant).
+	IterFactor int
+	// Faithful disables the oracle's early stop, running all
+	// IterFactor·|Π| iterations like the paper's protocol.
+	Faithful bool
+	// Parallel enables the concurrent network executor.
+	Parallel bool
+}
+
+// NewTopology builds one of the named topology families.
+func NewTopology(name string, n int) (*graph.Graph, error) {
+	return graph.ByName(name, n)
+}
+
+// NewWorkload builds one of the named workload protocols over g.
+func NewWorkload(name string, g *graph.Graph, rounds int, seed int64) (Protocol, error) {
+	if rounds <= 0 {
+		rounds = 30 * g.N()
+	}
+	inputs := protocol.DefaultInputs(g.N(), 4, seed)
+	switch name {
+	case "random", "":
+		return protocol.NewRandom(g, rounds, 0.5, seed, inputs), nil
+	case "dense":
+		return protocol.NewRandom(g, rounds, 1.0, seed, inputs), nil
+	case "phase-king":
+		phases := rounds / (2 * g.N())
+		if phases < g.N() {
+			phases = g.N()
+		}
+		return protocol.NewPhaseKing(g.N(), phases, inputs), nil
+	case "pipelined-line":
+		blocks := rounds / (g.N() + 3)
+		if blocks < 1 {
+			blocks = 1
+		}
+		return protocol.NewPipelinedLine(g.N(), blocks, 4, inputs)
+	case "tree-sum":
+		epochs := rounds/(8*g.N()) + 1
+		return protocol.NewTreeSum(g, epochs, 8, inputs), nil
+	case "token-ring":
+		laps := rounds / g.N()
+		if laps < 1 {
+			laps = 1
+		}
+		return protocol.NewTokenRing(g.N(), laps, inputs)
+	default:
+		return nil, fmt.Errorf("mpic: unknown workload %q", name)
+	}
+}
+
+// build materializes a Config into runnable pieces.
+func (cfg Config) build() (Protocol, core.Options, error) {
+	if cfg.N == 0 {
+		cfg.N = 6
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = "line"
+	}
+	if cfg.Scheme == 0 {
+		cfg.Scheme = AlgorithmA
+	}
+	// Workloads with fixed topologies override the requested one.
+	var g *graph.Graph
+	var err error
+	switch cfg.Workload {
+	case "pipelined-line":
+		g = graph.Line(cfg.N)
+	case "token-ring":
+		g, err = graph.ByName("ring", cfg.N)
+	case "phase-king":
+		g = graph.Clique(cfg.N)
+	default:
+		g, err = graph.ByName(cfg.Topology, cfg.N)
+	}
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	proto, err := NewWorkload(cfg.Workload, g, cfg.WorkloadRounds, cfg.Seed)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	params := core.ParamsFor(cfg.Scheme, g)
+	params.CRSKey = cfg.Seed
+	if cfg.IterFactor > 0 {
+		params.IterFactor = cfg.IterFactor
+	}
+	if cfg.Faithful {
+		params.EarlyStop = false
+	}
+	opts := core.Options{
+		Protocol: proto,
+		Params:   params,
+		Parallel: cfg.Parallel,
+	}
+	if err := cfg.wireNoise(g, &opts); err != nil {
+		return nil, core.Options{}, err
+	}
+	return proto, opts, nil
+}
+
+func (cfg Config) wireNoise(g *graph.Graph, opts *core.Options) error {
+	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + 1))
+	switch cfg.Noise {
+	case "none", "":
+		opts.Adversary = adversary.None{}
+	case "random":
+		opts.Adversary = adversary.NewRandomRate(cfg.NoiseRate, rng)
+	case "burst":
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		opts.Adversary = adversary.NewBurst(channel.Link{From: e.U, To: e.V}, 0, 1<<30, cfg.NoiseRate)
+	case "adaptive":
+		seed := rng.Int63()
+		rate := cfg.NoiseRate
+		opts.AdversaryFactory = func(info core.RunInfo) adversary.Adversary {
+			return adversary.NewAdaptive(info.Links, info.PhaseOracle, 3, rate, rand.New(rand.NewSource(seed)))
+		}
+	default:
+		return fmt.Errorf("mpic: unknown noise kind %q", cfg.Noise)
+	}
+	return nil
+}
+
+// Run executes the coded simulation described by cfg and verifies it
+// against a noiseless reference execution of the same workload.
+func Run(cfg Config) (*Result, error) {
+	_, opts, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(opts)
+}
+
+// RunProtocol executes a coded simulation of a caller-provided protocol
+// with explicit parameters — the advanced entry point.
+func RunProtocol(p Protocol, params Params, adv Adversary, parallel bool) (*Result, error) {
+	return core.Run(core.Options{Protocol: p, Params: params, Adversary: adv, Parallel: parallel})
+}
+
+// Adversary is the channel-noise interface (see the adversary
+// subpackage's strategies).
+type Adversary = adversary.Adversary
+
+// ParamsFor returns the paper's parameterization of a scheme for a
+// topology.
+func ParamsFor(s Scheme, g *graph.Graph) Params { return core.ParamsFor(s, g) }
+
+// RunUncoded executes the workload of cfg directly over the noisy
+// network — the fragile baseline.
+func RunUncoded(cfg Config) (*BaselineResult, error) {
+	proto, opts, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	adv := opts.Adversary
+	if opts.AdversaryFactory != nil {
+		return nil, fmt.Errorf("mpic: baseline runs do not support adaptive noise")
+	}
+	return baseline.RunUncoded(proto, adv)
+}
+
+// RunNaiveFEC executes the workload with per-transmission repetition
+// coding (an odd factor rep ≥ 1) — the feedback-free baseline.
+func RunNaiveFEC(cfg Config, rep int) (*BaselineResult, error) {
+	proto, opts, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	if opts.AdversaryFactory != nil {
+		return nil, fmt.Errorf("mpic: baseline runs do not support adaptive noise")
+	}
+	return baseline.RunNaiveFEC(proto, opts.Adversary, rep)
+}
+
+// RunUncodedProtocol runs a caller-provided protocol uncoded under an
+// explicit adversary.
+func RunUncodedProtocol(p Protocol, adv Adversary) (*BaselineResult, error) {
+	return baseline.RunUncoded(p, adv)
+}
+
+// RunNaiveFECProtocol runs a caller-provided protocol with repetition
+// coding under an explicit adversary.
+func RunNaiveFECProtocol(p Protocol, adv Adversary, rep int) (*BaselineResult, error) {
+	return baseline.RunNaiveFEC(p, adv, rep)
+}
+
+// NewFixedDeletions builds an adversary that skips the first `skip`
+// payload bits on the directed link from → to and then deletes the next
+// count of them — a fixed absolute budget useful for comparing schemes
+// of different total communication (skip lets the attack bypass, e.g.,
+// the randomness-exchange preamble).
+func NewFixedDeletions(from, to int, skip, count int) Adversary {
+	a := adversary.NewFixedDeletions(channel.Link{From: graph.Node(from), To: graph.Node(to)}, count)
+	a.Skip = skip
+	return a
+}
