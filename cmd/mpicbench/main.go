@@ -6,9 +6,16 @@
 //
 //	mpicbench -experiment table1
 //	mpicbench -experiment all -quick
+//	mpicbench -experiment all -quick -json BENCH_PR1.json
+//
+// The -json flag additionally writes the tables as machine-readable JSON
+// (experiment ID, title, header, rows, notes), so successive PRs can track
+// the performance and fidelity trajectory by diffing artefact files
+// instead of re-parsing markdown.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,29 +34,45 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mpicbench", flag.ContinueOnError)
 	var (
-		name   = fs.String("experiment", "all", "experiment name or 'all': "+strings.Join(experiments.Names(), ", "))
-		trials = fs.Int("trials", 10, "trials per measured cell")
-		seed   = fs.Int64("seed", 1, "base random seed")
-		quick  = fs.Bool("quick", false, "smaller sizes and trial counts")
+		name     = fs.String("experiment", "all", "experiment name or 'all': "+strings.Join(experiments.Names(), ", "))
+		trials   = fs.Int("trials", 10, "trials per measured cell")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		quick    = fs.Bool("quick", false, "smaller sizes and trial counts")
+		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR1.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	var tables []*experiments.Table
 	if *name == "all" {
-		tables, err := experiments.RunAll(cfg)
+		all, err := experiments.RunAll(cfg)
 		if err != nil {
 			return err
 		}
-		for _, t := range tables {
-			fmt.Println(t.Markdown())
+		tables = all
+	} else {
+		t, err := experiments.Run(*name, cfg)
+		if err != nil {
+			return err
 		}
-		return nil
+		tables = append(tables, t)
 	}
-	t, err := experiments.Run(*name, cfg)
+	for _, t := range tables {
+		fmt.Println(t.Markdown())
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, tables); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, tables []*experiments.Table) error {
+	data, err := json.MarshalIndent(tables, "", "  ")
 	if err != nil {
 		return err
 	}
-	fmt.Println(t.Markdown())
-	return nil
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

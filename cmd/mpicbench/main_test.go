@@ -1,10 +1,37 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string
+		Header []string
+		Rows   [][]string
+	}
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("invalid JSON artefact: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID == "" || len(tables[0].Rows) == 0 {
+		t.Fatalf("JSON artefact incomplete: %+v", tables)
 	}
 }
 

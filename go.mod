@@ -1,0 +1,3 @@
+module mpic
+
+go 1.21

@@ -42,11 +42,29 @@ func (b *BitVec) Append(bit byte) {
 	b.n++
 }
 
-// AppendUint appends the width low-order bits of v, least-significant first.
+// AppendUint appends the width low-order bits of v, least-significant
+// first. Widths beyond 64 append zero bits past the value, matching the
+// bit-at-a-time semantics (v >> j is 0 for j >= 64). The append is
+// word-level: at most two word merges plus capacity growth, which keeps
+// transcript extension off the bit-loop path.
 func (b *BitVec) AppendUint(v uint64, width int) {
-	for j := 0; j < width; j++ {
-		b.Append(byte(v >> uint(j) & 1))
+	if width <= 0 {
+		return
 	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	}
+	n := b.n + width
+	for nw := (n + 63) / 64; len(b.words) < nw; {
+		b.words = append(b.words, 0)
+	}
+	i := b.n >> 6
+	sh := uint(b.n & 63)
+	b.words[i] |= v << sh
+	if sh != 0 && int(sh)+width > 64 {
+		b.words[i+1] |= v >> (64 - sh)
+	}
+	b.n = n
 }
 
 // Get returns bit i. It panics if i is out of range, matching slice
@@ -78,6 +96,15 @@ func (b *BitVec) Word(i int) uint64 {
 
 // Words returns the number of 64-bit words needed to hold Len() bits.
 func (b *BitVec) Words() int { return (b.n + 63) / 64 }
+
+// RawWords exposes the backing words for read-only scanning by hot loops
+// (the hash kernel), bypassing the per-word masking of Word. The invariant
+// that bits at positions >= Len() are zero is maintained by every mutator
+// (Append and AppendUint only set bits below the new length; Truncate
+// masks the tail), so callers may use the words directly. The slice
+// aliases internal storage: it must not be written, and it is invalidated
+// by the next mutation.
+func (b *BitVec) RawWords() []uint64 { return b.words }
 
 // Truncate shortens the vector to n bits. It panics if n exceeds Len().
 func (b *BitVec) Truncate(n int) {
@@ -125,11 +152,23 @@ func (b *BitVec) String() string {
 	return sb.String()
 }
 
-// FromBits builds a vector from a slice of 0/1 bytes.
+// FromBits builds a vector from a slice of 0/1 bytes (any nonzero byte
+// counts as 1), packing a word at a time.
 func FromBits(bits []byte) *BitVec {
 	v := NewBitVec(len(bits))
-	for _, bit := range bits {
-		v.Append(bit)
+	var w uint64
+	for i, bit := range bits {
+		if bit != 0 {
+			w |= 1 << uint(i&63)
+		}
+		if i&63 == 63 {
+			v.words = append(v.words, w)
+			w = 0
+		}
 	}
+	if len(bits)&63 != 0 {
+		v.words = append(v.words, w)
+	}
+	v.n = len(bits)
 	return v
 }

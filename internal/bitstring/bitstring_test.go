@@ -227,3 +227,72 @@ func TestAppendSymbol(t *testing.T) {
 		t.Fatalf("AppendSymbol(Silence) produced %s", v.String())
 	}
 }
+
+// TestAppendUintMatchesBitAppend cross-checks the word-level AppendUint
+// against the bit-at-a-time definition at every starting alignment.
+func TestAppendUintMatchesBitAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		pre := rng.Intn(130)
+		width := rng.Intn(80)
+		v := rng.Uint64()
+		fast := NewBitVec(0)
+		slow := NewBitVec(0)
+		for i := 0; i < pre; i++ {
+			bit := byte(rng.Intn(2))
+			fast.Append(bit)
+			slow.Append(bit)
+		}
+		fast.AppendUint(v, width)
+		for j := 0; j < width; j++ {
+			slow.Append(byte(v >> uint(j) & 1))
+		}
+		if !fast.Equal(slow) {
+			t.Fatalf("trial %d: pre=%d width=%d v=%#x: word-level AppendUint diverges", trial, pre, width, v)
+		}
+		// The raw-words invariant: bits at positions >= Len() are zero.
+		for i, w := range fast.RawWords() {
+			if w != fast.Word(i) {
+				t.Fatalf("trial %d: raw word %d has bits beyond Len()", trial, i)
+			}
+		}
+	}
+}
+
+// TestFromBitsMatchesAppend cross-checks the word-packing FromBits.
+func TestFromBitsMatchesAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		got := FromBits(bits)
+		want := NewBitVec(n)
+		for _, b := range bits {
+			want.Append(b)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("FromBits(%d bits) diverges from Append", n)
+		}
+	}
+}
+
+// TestRawWordsAfterTruncate checks the zero-tail invariant survives
+// truncation followed by regrowth.
+func TestRawWordsAfterTruncate(t *testing.T) {
+	v := NewBitVec(0)
+	for i := 0; i < 130; i++ {
+		v.Append(1)
+	}
+	v.Truncate(70)
+	v.AppendUint(0xffffffffffffffff, 10)
+	for i, w := range v.RawWords() {
+		if w != v.Word(i) {
+			t.Fatalf("raw word %d has bits beyond Len() after truncate+append", i)
+		}
+	}
+	if v.Len() != 80 {
+		t.Fatalf("Len() = %d, want 80", v.Len())
+	}
+}

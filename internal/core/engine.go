@@ -134,6 +134,11 @@ func Run(opts Options) (*Result, error) {
 	maxLen := (iters + 1) * maxChunkBits
 	e.hash = hashing.NewInnerProductHash(p.HashBits, maxLen)
 	e.seedLay = hashing.NewSeedLayout(e.hash)
+	// Pre-size the per-link seed caches for the transcript lengths runs
+	// actually reach — |Π| chunks plus slack for dummy chunks — so the
+	// hash path settles into zero steady-state allocation quickly without
+	// reserving the (iters+1)-chunk worst case per link.
+	e.seedHintWords = ((numChunks+2)*maxChunkBits + 63) / 64
 
 	lay := &layout{
 		mpRounds:     3 * p.HashBits,
@@ -195,9 +200,19 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 	eng.Parallel = opts.Parallel
+	defer eng.Close()
 	eng.SetPhaseFn(func(round int) trace.Phase {
 		_, ph, _ := lay.phaseAt(round)
 		return ph
+	})
+	// Almost every round moves one symbol per link; the compute of an
+	// iteration concentrates in the first meeting-points round, where each
+	// party rehashes its transcripts (prepareIteration). Point the
+	// parallel executor at exactly those rounds so pool synchronization is
+	// paid only where the fan-out wins.
+	eng.SetParallelHint(func(round int) bool {
+		_, ph, rel := lay.phaseAt(round)
+		return ph == trace.PhaseMeetingPoints && rel == 0
 	})
 
 	ref := protocol.RunReference(opts.Protocol)

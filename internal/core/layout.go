@@ -50,20 +50,28 @@ func (l *layout) phaseAt(round int) (iter int, ph trace.Phase, rel int) {
 	}
 }
 
+// lastOf reports whether phase offset rel is the final round of phase ph.
+// round disambiguates the exchange preamble, whose rel counts absolute
+// rounds. Callers that already hold a phaseAt decomposition (the party's
+// per-round memo) use this directly instead of re-dividing via phaseEnd.
+func (l *layout) lastOf(ph trace.Phase, rel, round int) bool {
+	switch ph {
+	case trace.PhaseExchange:
+		return round == l.exchangeRounds-1
+	case trace.PhaseMeetingPoints:
+		return rel == l.mpRounds-1
+	case trace.PhaseFlagPassing:
+		return rel == l.flagRounds-1
+	case trace.PhaseSimulation:
+		return rel == l.simRounds-1
+	default:
+		return rel == l.rewindRounds-1
+	}
+}
+
 // phaseEnd reports whether round is the final round of the given phase in
 // its iteration.
 func (l *layout) phaseEnd(round int) (iter int, ph trace.Phase, last bool) {
 	iter, ph, rel := l.phaseAt(round)
-	switch ph {
-	case trace.PhaseExchange:
-		return iter, ph, round == l.exchangeRounds-1
-	case trace.PhaseMeetingPoints:
-		return iter, ph, rel == l.mpRounds-1
-	case trace.PhaseFlagPassing:
-		return iter, ph, rel == l.flagRounds-1
-	case trace.PhaseSimulation:
-		return iter, ph, rel == l.simRounds-1
-	default:
-		return iter, ph, rel == l.rewindRounds-1
-	}
+	return iter, ph, l.lastOf(ph, rel, round)
 }

@@ -27,6 +27,10 @@ type env struct {
 	codec     *ecc.BitCodec
 	crsK0     uint64
 	crsK1     uint64
+	// seedHintWords pre-sizes the per-link prefix-hash seed caches: the
+	// row-prefix length (in words) a run's transcripts are expected to
+	// reach, derived from the chunking when the layout is built.
+	seedHintWords int
 }
 
 // linkState is one endpoint's per-link state: the pairwise transcript, the
@@ -38,13 +42,24 @@ type linkState struct {
 	T    *Transcript
 	mp   *meeting.State
 	src  hashing.SeedSource
+	// ck, c1, c2 are the materialized seed blocks for the current
+	// iteration's three hash slots (counter, mp1 prefix, mp2 prefix); they
+	// are re-pointed by prepareIteration and feed the allocation-free
+	// kernel.
+	ck, c1, c2 *hashing.BlockCache
+	// h is the link's meeting.Hasher, boxed once at source binding so the
+	// per-iteration hash calls do not re-box the interface value.
+	h    meeting.Hasher
 	iter int // iteration whose seeds the hasher uses
 
 	alreadyRewound bool
 
-	// Meeting-points phase buffers: 3τ bits each way.
+	// Meeting-points phase buffers: 3τ bits each way, plus the unpacked
+	// form of the outgoing message (Step reuses it as the endpoint's side
+	// of the comparison instead of re-hashing).
 	mpOut  []byte
 	mpRecv []byte
+	mpOwn  meeting.Message
 
 	// Simulation phase state.
 	skip     bool // received ⊥ this iteration
@@ -67,20 +82,20 @@ type hasher struct {
 	ls  *linkState
 }
 
-// HashK implements meeting.Hasher.
+// HashK implements meeting.Hasher via the allocation-free cached kernel;
+// prepareIteration points the block caches at the current iteration's
+// seed blocks before any hash is evaluated.
 func (h hasher) HashK(k int) uint64 {
-	off := h.env.seedLay.Offset(h.ls.iter, hashing.SlotK)
-	return h.env.hash.HashUint(uint64(k), meeting.KWidth, h.ls.src, off)
+	return h.env.hash.HashWordCached(uint64(k), meeting.KWidth, h.ls.ck)
 }
 
 // HashPrefix implements meeting.Hasher.
 func (h hasher) HashPrefix(chunks int, slot int) uint64 {
-	s := hashing.SlotMP1
+	c := h.ls.c1
 	if slot == 2 {
-		s = hashing.SlotMP2
+		c = h.ls.c2
 	}
-	off := h.env.seedLay.Offset(h.ls.iter, s)
-	return h.env.hash.HashPrefix(h.ls.T.Bits(), h.ls.T.PrefixBits(chunks), h.ls.src, off)
+	return h.env.hash.HashPrefixCached(h.ls.T.Bits(), h.ls.T.PrefixBits(chunks), c)
 }
 
 // party is one node's implementation of the coding scheme: a state
@@ -100,7 +115,25 @@ type party struct {
 	rewindRound int // round whose rewind decisions are already planned
 	rewindPlan  map[graph.Node]bool
 
+	// Memoized phase decomposition of the last round seen: Send, Deliver
+	// and EndRound each decompose the same round once per link, and the
+	// layout division showed up in profiles. Private to the party, so the
+	// parallel executor (one worker per party at a time) stays race-free.
+	phRound int
+	phIter  int
+	phPh    trace.Phase
+	phRel   int
+
 	rng *rand.Rand // private randomness (seed sampling)
+}
+
+// phaseAt is the memoizing wrapper over layout.phaseAt.
+func (p *party) phaseAt(round int) (int, trace.Phase, int) {
+	if p.phRound != round {
+		p.phIter, p.phPh, p.phRel = p.env.lay.phaseAt(round)
+		p.phRound = round
+	}
+	return p.phIter, p.phPh, p.phRel
 }
 
 var _ network.Party = (*party)(nil)
@@ -116,6 +149,7 @@ func newParty(e *env, id graph.Node) *party {
 		netCorrect:   true,
 		preparedIter: -1,
 		rewindRound:  -1,
+		phRound:      -1,
 		rewindPlan:   make(map[graph.Node]bool),
 		rng:          rand.New(rand.NewSource(e.params.CRSKey ^ (0x5851f42d4c957f2d * int64(id+1)))),
 	}
@@ -137,10 +171,15 @@ func newParty(e *env, id graph.Node) *party {
 // mode the sender samples a short seed and encodes it, and sources are
 // built when the exchange phase completes.
 func (p *party) initSeeds() {
-	for _, ls := range p.links {
+	// Iterate links in neighbor order, not map order: exchange-mode
+	// senders draw their seeds from p.rng, and ranging over the map made
+	// the link→seed assignment (and so the whole run) vary between
+	// processes despite a fixed CRSKey.
+	for _, v := range p.neighbors {
+		ls := p.links[v]
 		if p.env.params.Randomness == RandCRS {
 			a, b := crsLinkSeed(p.env.crsK0, p.env.crsK1, ls.edge)
-			ls.src = p.env.newSource(a, b)
+			p.env.bindSource(ls, p.env.newSource(a, b))
 			continue
 		}
 		if p.isExchangeSender(ls) {
@@ -156,12 +195,24 @@ func (p *party) initSeeds() {
 			}
 			ls.exchSend = enc
 			a, b := seedToWords(seed)
-			ls.src = p.env.newSource(a, b)
+			p.env.bindSource(ls, p.env.newSource(a, b))
 		} else {
 			ls.exchRecv = make([]byte, 0, p.env.codec.CodewordBits())
 			ls.exchErased = make([]bool, 0, p.env.codec.CodewordBits())
 		}
 	}
+}
+
+// bindSource installs a link's seed stream and builds its per-slot block
+// caches over it, pre-sized from the layout so steady-state hashing
+// allocates nothing. Exchange-mode receivers bind late (finishExchange);
+// everyone else binds at construction.
+func (e *env) bindSource(ls *linkState, src hashing.SeedSource) {
+	ls.src = src
+	ls.ck = hashing.NewBlockCache(e.hash, src, 1)
+	ls.c1 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
+	ls.c2 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
+	ls.h = hasher{env: e, ls: ls}
 }
 
 // seedBits is the short uniform seed length exchanged per link: two
@@ -207,7 +258,7 @@ func (p *party) ID() graph.Node { return p.id }
 
 // Send implements network.Party.
 func (p *party) Send(round int, to graph.Node) bitstring.Symbol {
-	iter, ph, rel := p.env.lay.phaseAt(round)
+	iter, ph, rel := p.phaseAt(round)
 	ls := p.links[to]
 	switch ph {
 	case trace.PhaseExchange:
@@ -236,7 +287,7 @@ func (p *party) Send(round int, to graph.Node) bitstring.Symbol {
 
 // Deliver implements network.Party.
 func (p *party) Deliver(round int, from graph.Node, sym bitstring.Symbol) {
-	_, ph, rel := p.env.lay.phaseAt(round)
+	_, ph, rel := p.phaseAt(round)
 	ls := p.links[from]
 	switch ph {
 	case trace.PhaseExchange:
@@ -263,12 +314,12 @@ func (p *party) Deliver(round int, from graph.Node, sym bitstring.Symbol) {
 
 // EndRound implements network.RoundEnder: phase-boundary finalization.
 func (p *party) EndRound(round int) {
-	iter, ph, last := p.env.lay.phaseEnd(round)
-	if !last {
+	iter, ph, rel := p.phaseAt(round)
+	if !p.env.lay.lastOf(ph, rel, round) {
 		// The ⊥ round inside the simulation phase also needs
 		// finalization: chunk simulation state is set up only once all
 		// ⊥ symbols of the round have been seen.
-		if _, ph2, rel := p.env.lay.phaseAt(round); ph2 == trace.PhaseSimulation && rel == 0 {
+		if ph == trace.PhaseSimulation && rel == 0 {
 			p.beginSimulation()
 		}
 		return
@@ -298,7 +349,11 @@ func (p *party) EndRound(round int) {
 }
 
 // prepareIteration computes the meeting-points messages for iteration it
-// and resets the per-iteration link scratch state.
+// and resets the per-iteration link scratch state. The mpOut/mpRecv
+// buffers and the seed block caches are reused across iterations, so in
+// steady state this performs zero allocations; mpRecv needs no clearing
+// because the engine delivers exactly one symbol per slot of the phase,
+// overwriting all 3τ positions.
 func (p *party) prepareIteration(it int) {
 	p.preparedIter = it
 	tau := p.env.params.HashBits
@@ -306,21 +361,29 @@ func (p *party) prepareIteration(it int) {
 		ls.iter = it
 		ls.alreadyRewound = false
 		ls.skip = false
-		msg := ls.mp.Outgoing(hasher{env: p.env, ls: ls}, ls.T.Len())
-		ls.mpOut = packHashes(msg, tau)
-		ls.mpRecv = make([]byte, 3*tau)
+		ls.ck.SetBlock(p.env.seedLay.Offset(it, hashing.SlotK))
+		ls.c1.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP1))
+		ls.c2.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP2))
+		msg := ls.mp.Outgoing(ls.h, ls.T.Len())
+		ls.mpOwn = msg
+		if ls.mpOut == nil {
+			ls.mpOut = make([]byte, 3*tau)
+			ls.mpRecv = make([]byte, 3*tau)
+		}
+		packHashesInto(ls.mpOut, msg, tau)
 	}
 }
 
-// packHashes serializes (HK, H1, H2) into 3τ bits, LSB-first per field.
-func packHashes(m meeting.Message, tau int) []byte {
-	out := make([]byte, 0, 3*tau)
-	for _, h := range []uint64{m.HK, m.H1, m.H2} {
+// packHashesInto serializes (HK, H1, H2) into 3τ bits, LSB-first per
+// field, reusing the caller's buffer (len must be 3τ).
+func packHashesInto(dst []byte, m meeting.Message, tau int) {
+	k := 0
+	for _, h := range [3]uint64{m.HK, m.H1, m.H2} {
 		for j := 0; j < tau; j++ {
-			out = append(out, byte(h>>uint(j)&1))
+			dst[k] = byte(h >> uint(j) & 1)
+			k++
 		}
 	}
-	return out
 }
 
 // unpackHashes reverses packHashes.
@@ -341,7 +404,7 @@ func (p *party) finishMeetingPoints() {
 	tau := p.env.params.HashBits
 	for _, ls := range p.links {
 		msg := unpackHashes(ls.mpRecv, tau)
-		act := ls.mp.Step(hasher{env: p.env, ls: ls}, ls.T.Len(), msg)
+		act := ls.mp.Step(ls.mpOwn, ls.T.Len(), msg)
 		if act.TruncateTo >= 0 {
 			ls.T.TruncateTo(act.TruncateTo)
 		}

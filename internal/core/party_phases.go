@@ -174,11 +174,11 @@ func (p *party) finishExchange() {
 					}
 				}
 			}
-			ls.src = p.env.newSource(a^0xdead, b^0xbeef)
+			p.env.bindSource(ls, p.env.newSource(a^0xdead, b^0xbeef))
 			continue
 		}
 		a, b := seedToWords(seed)
-		ls.src = p.env.newSource(a, b)
+		p.env.bindSource(ls, p.env.newSource(a, b))
 	}
 }
 

@@ -1,6 +1,10 @@
 package hashing
 
-import "mpic/internal/bitstring"
+import (
+	"math/bits"
+
+	"mpic/internal/bitstring"
+)
 
 // InnerProductHash is the hash family of Definition 2.2: for input x of
 // length L and seed s of length τ·L, output bit j is the GF(2) inner
@@ -53,6 +57,13 @@ func (h *InnerProductHash) Hash(x *bitstring.BitVec, src SeedSource, off uint64)
 // HashPrefix evaluates the hash on the first nbits bits of x (then padded
 // with zeros up to MaxLen). It lets transcript prefixes be hashed without
 // copying.
+//
+// This is the reference evaluator: it pulls seed words through the
+// SeedSource interface one at a time. The protocol's hot path goes through
+// HashPrefixCached, whose output is bit-identical (a property the golden
+// equivalence tests pin down); this path remains for one-shot evaluations
+// such as the white-box attacker's lookahead, and as the independent
+// oracle those tests compare against.
 func (h *InnerProductHash) HashPrefix(x *bitstring.BitVec, nbits int, src SeedSource, off uint64) uint64 {
 	if nbits > x.Len() {
 		nbits = x.Len()
@@ -93,9 +104,83 @@ func (h *InnerProductHash) HashPrefix(x *bitstring.BitVec, nbits int, src SeedSo
 }
 
 // HashUint hashes a fixed-width unsigned value (used for the meeting-point
-// counter k, which the parties compare by hash; see Section 3.1).
+// counter k, which the parties compare by hash; see Section 3.1). Like
+// HashPrefix this is the reference evaluator; HashWordCached is the
+// allocation-free equivalent on the hot path.
 func (h *InnerProductHash) HashUint(v uint64, width int, src SeedSource, off uint64) uint64 {
 	x := bitstring.NewBitVec(width)
 	x.AppendUint(v, width)
 	return h.Hash(x, src, off)
+}
+
+// HashPrefixCached evaluates the hash on the first nbits bits of x using
+// the seed block materialized in c, which must point (via SetBlock) at the
+// offset the equivalent HashPrefix call would receive. Output is
+// bit-identical to the reference evaluator; steady-state evaluation
+// performs zero allocations and no per-word interface calls.
+func (h *InnerProductHash) HashPrefixCached(x *bitstring.BitVec, nbits int, c *BlockCache) uint64 {
+	if nbits > x.Len() {
+		nbits = x.Len()
+	}
+	if nbits < 0 {
+		nbits = 0
+	}
+	return h.hashWords(x.RawWords(), nbits, c)
+}
+
+// HashWordCached hashes the width low-order bits of v — the counter-hash
+// fast path, equivalent to HashUint without building a BitVec. width must
+// be at most 64.
+func (h *InnerProductHash) HashWordCached(v uint64, width int, c *BlockCache) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	if width < 64 {
+		v &= 1<<uint(width) - 1
+	} else {
+		width = 64
+	}
+	xw := [1]uint64{v}
+	return h.hashWords(xw[:], width, c)
+}
+
+// hashWords is the devirtualized inner-product kernel: a transposed sweep
+// that loads each input word once and XORs it into all τ row accumulators,
+// reading the interleaved seed buffer strictly sequentially, then folds
+// each accumulator to its parity bit with a popcount. Words of xw at
+// positions >= ⌈nbits/64⌉ are ignored and missing trailing words are
+// treated as zero (they contribute nothing to any inner product).
+func (h *InnerProductHash) hashWords(xw []uint64, nbits int, c *BlockCache) uint64 {
+	nw := (nbits + 63) / 64
+	if row := int(h.wordsPerRow()); nw > row {
+		nw = row
+	}
+	if nw > len(xw) {
+		nw = len(xw)
+	}
+	if nw == 0 {
+		return 0
+	}
+	c.ensure(nw)
+	tau := h.Tau
+	buf := c.buf
+	var tailMask uint64 = ^uint64(0)
+	if r := uint(nbits & 63); r != 0 {
+		tailMask = 1<<r - 1
+	}
+	var acc [64]uint64
+	for i := 0; i < nw; i++ {
+		w := xw[i]
+		if i == nw-1 {
+			w &= tailMask
+		}
+		for j, sw := range buf[i*tau : i*tau+tau] {
+			acc[j] ^= w & sw
+		}
+	}
+	var out uint64
+	for j := 0; j < tau; j++ {
+		out |= uint64(bits.OnesCount64(acc[j])&1) << j
+	}
+	return out
 }

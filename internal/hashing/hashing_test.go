@@ -134,16 +134,117 @@ func TestAGHPBalance(t *testing.T) {
 	}
 }
 
-func TestCachedSource(t *testing.T) {
-	src := NewAGHPSource(5, 9)
-	c := NewCached(src)
-	for i := uint64(0); i < 10; i++ {
-		if c.Word(i) != src.Word(i) {
-			t.Fatalf("cached word %d differs", i)
+func TestBulkFillMatchesWord(t *testing.T) {
+	sources := map[string]BulkSeedSource{
+		"prf":  NewPRFSource(5, 9),
+		"aghp": NewAGHPSource(5, 9),
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			// An independent instance for Word: the AGHP sequential memo
+			// must not let Fill and Word feed each other.
+			var ref SeedSource
+			if name == "prf" {
+				ref = NewPRFSource(5, 9)
+			} else {
+				ref = NewAGHPSource(5, 9)
+			}
+			for _, tc := range []struct {
+				off uint64
+				n   int
+			}{{0, 1}, {0, 10}, {7, 5}, {100, 1}, {3, 64}, {12, 3}} {
+				dst := make([]uint64, tc.n)
+				src.Fill(dst, tc.off)
+				for i, w := range dst {
+					if want := ref.Word(tc.off + uint64(i)); w != want {
+						t.Fatalf("Fill(off=%d)[%d] = %#x, want %#x", tc.off, i, w, want)
+					}
+				}
+			}
+			// Non-sequential jumps (backwards, with gaps) after a fill.
+			dst := make([]uint64, 4)
+			src.Fill(dst, 2)
+			for i, w := range dst {
+				if want := ref.Word(2 + uint64(i)); w != want {
+					t.Fatalf("re-Fill(off=2)[%d] = %#x, want %#x", i, w, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockCacheGoldenEquivalence is the golden test for the kernel
+// rewrite: across random transcripts, prefix lengths, seeds, sources, and
+// τ ∈ {1..64}, the cached transposed kernel must agree bit-for-bit with
+// the reference interface-dispatch evaluator — the shared-randomness
+// invariant that keeps both endpoints' hashes equal.
+func TestBlockCacheGoldenEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 300; trial++ {
+		tau := 1 + rng.Intn(64)
+		maxLen := 1 + rng.Intn(700)
+		h := NewInnerProductHash(tau, maxLen)
+		var src, srcRef SeedSource
+		a, b := rng.Uint64(), rng.Uint64()
+		if trial%2 == 0 {
+			src, srcRef = NewPRFSource(a, b), NewPRFSource(a, b)
+		} else {
+			src, srcRef = NewAGHPSource(a, b), NewAGHPSource(a, b)
 		}
-		if c.Word(i) != c.Word(i) {
-			t.Fatalf("cache not stable at %d", i)
+		x := randomBits(rng, rng.Intn(2*maxLen))
+		c := NewBlockCache(h, src, rng.Intn(8))
+		lay := NewSeedLayout(h)
+		for step := 0; step < 6; step++ {
+			it := rng.Intn(5)
+			slot := Slot(rng.Intn(int(numSlots)))
+			off := lay.Offset(it, slot)
+			c.SetBlock(off)
+			// Several prefix lengths per block, in random order, to
+			// exercise cache growth and reuse.
+			for k := 0; k < 3; k++ {
+				nbits := rng.Intn(x.Len() + 1)
+				got := h.HashPrefixCached(x, nbits, c)
+				want := h.HashPrefix(x, nbits, srcRef, off)
+				if got != want {
+					t.Fatalf("trial %d: τ=%d maxLen=%d nbits=%d off=%d: cached %#x != reference %#x",
+						trial, tau, maxLen, nbits, off, got, want)
+				}
+			}
+			v := rng.Uint64()
+			width := 1 + rng.Intn(64)
+			if got, want := h.HashWordCached(v, width, c), h.HashUint(v, width, srcRef, off); got != want {
+				t.Fatalf("trial %d: HashWordCached(%#x, %d) = %#x, want %#x", trial, v, width, got, want)
+			}
 		}
+	}
+}
+
+// TestBlockCacheSteadyStateAllocs pins the zero-allocation contract of the
+// cached hash path: once a block's rows are materialized, re-evaluation
+// (and re-pointing at an already-sized block) allocates nothing.
+func TestBlockCacheSteadyStateAllocs(t *testing.T) {
+	h := NewInnerProductHash(8, 4096)
+	src := NewPRFSource(1, 2)
+	c := NewBlockCache(h, src, int(h.wordsPerRow()))
+	x := randomBits(rand.New(rand.NewSource(3)), 4000)
+	lay := NewSeedLayout(h)
+	// Warm both blocks once.
+	c.SetBlock(lay.Offset(0, SlotMP1))
+	h.HashPrefixCached(x, x.Len(), c)
+	c.SetBlock(lay.Offset(1, SlotMP1))
+	h.HashPrefixCached(x, x.Len(), c)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.SetBlock(lay.Offset(0, SlotMP1))
+		if h.HashPrefixCached(x, x.Len(), c) == 0 {
+			// Use the result so the call cannot be elided.
+			_ = x.Len()
+		}
+		_ = h.HashWordCached(42, 32, c)
+		c.SetBlock(lay.Offset(1, SlotMP1))
+		_ = h.HashPrefixCached(x, 1000, c)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached hash path allocates %.1f times per iteration, want 0", allocs)
 	}
 }
 

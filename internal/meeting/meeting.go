@@ -124,17 +124,21 @@ type Action struct {
 
 // Step advances the state by one meeting-points exchange: the endpoint
 // sent Outgoing() earlier in the phase and now processes the neighbor's
-// (possibly corrupted) message. chunks is the current transcript length.
-func (s *State) Step(h Hasher, chunks int, recv Message) Action {
+// (possibly corrupted) message. own is the message Outgoing returned for
+// this step — the transcript and counter cannot change mid-phase, so
+// Outgoing's hashes are exactly the endpoint's side of the comparison and
+// re-evaluating them here would double the consistency check's hash cost.
+// chunks is the current transcript length.
+func (s *State) Step(own Message, chunks int, recv Message) Action {
 	s.K++
 	k := s.K
 	kt := scale(k)
 	mp1, mp2 := MeetingPoints(k, chunks)
 	act := Action{TruncateTo: -1}
 
-	myHK := h.HashK(k)
-	myH1 := h.HashPrefix(mp1, 1)
-	myH2 := h.HashPrefix(mp2, 2)
+	myHK := own.HK
+	myH1 := own.H1
+	myH2 := own.H2
 
 	switch {
 	case recv.HK != myHK:

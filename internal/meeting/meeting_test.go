@@ -41,8 +41,8 @@ func (e *endpoint) len() int { return len(e.content) }
 func exchange(a, b *endpoint) {
 	ma := a.st.Outgoing(a.hasher(), a.len())
 	mb := b.st.Outgoing(b.hasher(), b.len())
-	actA := a.st.Step(a.hasher(), a.len(), mb)
-	actB := b.st.Step(b.hasher(), b.len(), ma)
+	actA := a.st.Step(ma, a.len(), mb)
+	actB := b.st.Step(mb, b.len(), ma)
 	if actA.TruncateTo >= 0 && actA.TruncateTo < a.len() {
 		a.content = a.content[:actA.TruncateTo]
 	}
@@ -202,7 +202,7 @@ func TestCorruptedMessagesBoundedDamage(t *testing.T) {
 	a := mkEndpoint(1, 2, 3, 4)
 	garbage := Message{HK: 0xffff, H1: 0xaaaa, H2: 0x5555}
 	for i := 0; i < 50; i++ {
-		act := a.st.Step(a.hasher(), a.len(), garbage)
+		act := a.st.Step(a.st.Outgoing(a.hasher(), a.len()), a.len(), garbage)
 		if act.TruncateTo >= 0 {
 			t.Fatalf("pure HK-garbage caused truncation at step %d", i)
 		}

@@ -7,8 +7,9 @@ package network
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"mpic/internal/adversary"
 	"mpic/internal/bitstring"
@@ -50,12 +51,35 @@ type Engine struct {
 	metrics *trace.Metrics
 	links   []channel.Link // all directed links, deterministic order
 	phaseFn func(round int) trace.Phase
-	// Parallel computes the Send phase concurrently (one goroutine per
-	// party). Results are identical to sequential execution because
-	// parties are independent within a round.
+	// Parallel computes the Send phase concurrently on a persistent
+	// worker pool (started lazily, one pool per engine). Results are
+	// identical to sequential execution because parties are independent
+	// within a round. Call Close when done with a parallel engine to
+	// release the workers. On a single-CPU process (GOMAXPROCS=1) the
+	// flag is a no-op: the pool cannot win there, so the engine stays
+	// sequential.
 	Parallel bool
 
 	sendBuf []bitstring.Symbol
+	// ranges partitions links by sending party: links[r.start:r.end] all
+	// originate at parties[r.from]. Precomputed once; both executors use
+	// it, and pool workers write disjoint sendBuf regions because of it.
+	ranges  []sendRange
+	pool    *sendPool
+	maxProc int // GOMAXPROCS snapshot taken at construction
+	// parallelHint, when set, marks the rounds worth parallelizing. Most
+	// rounds of the coding scheme move one symbol per link and are
+	// dominated by the pool's synchronization; the caller (which knows the
+	// phase layout) can restrict the pool to the rounds that concentrate
+	// real compute, e.g. the consistency-check round that rehashes every
+	// transcript. Unhinted parallel engines use the pool on every round.
+	parallelHint func(round int) bool
+}
+
+// sendRange is one party's contiguous run of outgoing directed links.
+type sendRange struct {
+	from       graph.Node
+	start, end int
 }
 
 // NewEngine wires parties (one per node, indexed by ID) to graph g with
@@ -93,6 +117,15 @@ func NewEngine(g *graph.Graph, parties []Party, adv adversary.Adversary, metrics
 		links:   links,
 		sendBuf: make([]bitstring.Symbol, len(links)),
 	}
+	for start := 0; start < len(links); {
+		end := start
+		for end < len(links) && links[end].From == links[start].From {
+			end++
+		}
+		e.ranges = append(e.ranges, sendRange{from: links[start].From, start: start, end: end})
+		start = end
+	}
+	e.maxProc = runtime.GOMAXPROCS(0)
 	if ca, ok := adv.(adversary.ContextAware); ok {
 		ca.SetContext(e)
 	}
@@ -116,6 +149,10 @@ func (e *Engine) Links() []channel.Link {
 // accounting.
 func (e *Engine) SetPhaseFn(fn func(round int) trace.Phase) { e.phaseFn = fn }
 
+// SetParallelHint restricts the parallel executor to rounds fn marks as
+// heavy; see the Parallel field. Pass nil to parallelize every round.
+func (e *Engine) SetParallelHint(fn func(round int) bool) { e.parallelHint = fn }
+
 // RunRounds executes rounds [from, to).
 func (e *Engine) RunRounds(from, to int) {
 	for r := from; r < to; r++ {
@@ -133,8 +170,12 @@ func (e *Engine) step(round int) {
 	}
 	// Collect phase: every party decides its outgoing symbols based on
 	// deliveries from strictly earlier rounds.
-	if e.Parallel {
-		e.collectParallel(round)
+	if e.Parallel && len(e.ranges) > 1 && e.maxProc > 1 &&
+		(e.parallelHint == nil || e.parallelHint(round)) {
+		if e.pool == nil {
+			e.pool = newSendPool(e)
+		}
+		e.pool.collect(round)
 	} else {
 		for i, l := range e.links {
 			e.sendBuf[i] = e.parties[l.From].Send(round, l.To)
@@ -159,27 +200,72 @@ func (e *Engine) step(round int) {
 	}
 }
 
-// collectParallel gathers sends with one goroutine per party. Each party's
-// outgoing links are contiguous in e.links (sorted by From), so goroutines
-// write disjoint regions of sendBuf.
-func (e *Engine) collectParallel(round int) {
-	// Compute per-party link ranges once.
-	var wg sync.WaitGroup
-	start := 0
-	for start < len(e.links) {
-		from := e.links[start].From
-		end := start
-		for end < len(e.links) && e.links[end].From == from {
-			end++
-		}
-		wg.Add(1)
-		go func(s, t int, p Party) {
-			defer wg.Done()
-			for i := s; i < t; i++ {
-				e.sendBuf[i] = p.Send(round, e.links[i].To)
-			}
-		}(start, end, e.parties[from])
-		start = end
+// Close releases the engine's worker pool, if one was started. The engine
+// must not be stepped afterwards. Close is idempotent and safe on engines
+// that never went parallel.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		close(e.pool.start)
+		e.pool = nil
 	}
-	wg.Wait()
+}
+
+// sendPool is the persistent parallel Send executor: a fixed set of
+// workers that survives across rounds, replacing the
+// goroutine-per-party-per-round pattern whose spawn cost swamped the
+// per-round work at larger n. Parties are handed out via an atomic
+// counter, so a slow party (deep in a rewind, say) does not serialize the
+// round behind a static partition.
+type sendPool struct {
+	e       *Engine
+	workers int
+	next    atomic.Int64
+	start   chan int      // round broadcast: one send per worker per round
+	done    chan struct{} // one receive per worker per round
+}
+
+func newSendPool(e *Engine) *sendPool {
+	w := e.maxProc
+	if w > len(e.ranges) {
+		w = len(e.ranges)
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &sendPool{e: e, workers: w, start: make(chan int), done: make(chan struct{}, w)}
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *sendPool) worker() {
+	for round := range p.start {
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= len(p.e.ranges) {
+				break
+			}
+			r := p.e.ranges[i]
+			party := p.e.parties[r.from]
+			for k := r.start; k < r.end; k++ {
+				p.e.sendBuf[k] = party.Send(round, p.e.links[k].To)
+			}
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// collect runs one round's Send phase on the pool and returns when every
+// party's symbols are in sendBuf. The Store/send pair orders the counter
+// reset before any worker starts, and the done receives order all sendBuf
+// writes before the caller reads them.
+func (p *sendPool) collect(round int) {
+	p.next.Store(0)
+	for i := 0; i < p.workers; i++ {
+		p.start <- round
+	}
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
 }
