@@ -1,0 +1,29 @@
+# Verification entry points. `make verify` is the PR gate: the tier-1
+# suite (build, vet, test) plus a race-detector pass over the internal
+# packages with GOMAXPROCS forced to 4, so the persistent parallel round
+# engine and the incremental checkpoint store get real concurrency
+# coverage even on single-CPU boxes (where the worker pool would
+# otherwise stay disabled and races could hide).
+
+GO ?= go
+
+.PHONY: verify tier1 race bench compare
+
+verify: tier1 race
+
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/...
+
+# Amortized per-iteration cost and the budget-scaling sweep (PERF.md).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkScaling' -benchmem .
+
+# Regenerate the experiment artefact and gate it against the previous
+# PR's (fails on >10% wall-clock regression).
+compare:
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR2.json -compare BENCH_PR1.json

@@ -214,21 +214,18 @@ func BenchmarkMicroReferenceRun(b *testing.B) {
 	}
 }
 
-// BenchmarkMicroIteration measures one full scheme iteration (all four
-// phases) on a line of 6, amortized.
-func BenchmarkMicroIteration(b *testing.B) {
+// benchIterations runs full-budget noiseless simulations on a line of 6
+// and reports amortized ns/iteration — the number that exposes whether
+// per-iteration cost grows with transcript length.
+func benchIterations(b *testing.B, iterFactor int, incremental bool) {
+	b.Helper()
 	g := graph.Line(6)
 	proto := protocol.NewRandom(g, 300, 0.5, 1, nil)
 	params := core.ParamsFor(core.Alg1, g)
-	// A bounded faithful run: hashes grow with the transcript, so the
-	// paper's full 100·|Π| budget costs quadratic work. The seed code
-	// capped this at 4·|Π| to stay tractable; the PR-1 zero-allocation
-	// hash path (materialized seeds + devirtualized kernel) is ~2× faster
-	// per iteration even at twice the transcript length, so the budget now
-	// runs at 8·|Π|.
-	params.IterFactor = 8
+	params.IterFactor = iterFactor
 	params.EarlyStop = false
 	params.Oracle = false
+	params.IncrementalHash = incremental
 	b.ReportAllocs()
 	b.ResetTimer()
 	iters := 0
@@ -242,5 +239,35 @@ func BenchmarkMicroIteration(b *testing.B) {
 	b.StopTimer()
 	if iters > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(iters), "ns/iteration")
+	}
+}
+
+// BenchmarkMicroIteration measures one full scheme iteration (all four
+// phases) on a line of 6, amortized. The seed code capped the budget at
+// 4·|Π| because per-iteration hashing swept the whole transcript
+// (quadratic total work); PR 1's kernel win raised it to 8·|Π|; with the
+// PR 2 incremental checkpoints the consistency check costs Θ(growth), so
+// the benchmark now runs 32·|Π| — and BenchmarkScalingBudget shows
+// ns/iteration no longer depends on the budget.
+func BenchmarkMicroIteration(b *testing.B) {
+	benchIterations(b, 32, true)
+}
+
+// BenchmarkScalingBudget sweeps the iteration budget with the quadratic
+// (per-iteration seed blocks, PR 1) and incremental (rewind-stable
+// checkpointed, PR 2) hash paths side by side. Quadratic ns/iteration
+// grows linearly with IterFactor (mean transcript length is proportional
+// to the budget); incremental stays flat.
+func BenchmarkScalingBudget(b *testing.B) {
+	for _, itf := range []int{8, 16, 32} {
+		for _, inc := range []bool{false, true} {
+			name := "iterfactor=" + strconv.Itoa(itf) + "/quadratic"
+			if inc {
+				name = "iterfactor=" + strconv.Itoa(itf) + "/incremental"
+			}
+			b.Run(name, func(b *testing.B) {
+				benchIterations(b, itf, inc)
+			})
+		}
 	}
 }

@@ -7,17 +7,25 @@
 //	mpicbench -experiment table1
 //	mpicbench -experiment all -quick
 //	mpicbench -experiment all -quick -json BENCH_PR1.json
+//	mpicbench -experiment all -quick -json BENCH_PR2.json -compare BENCH_PR1.json
 //
 // The -json flag additionally writes the tables as machine-readable JSON
-// (experiment ID, title, header, rows, notes), so successive PRs can track
-// the performance and fidelity trajectory by diffing artefact files
-// instead of re-parsing markdown.
+// (experiment ID, title, header, rows, notes, wall-clock cost), so
+// successive PRs can track the performance and fidelity trajectory by
+// diffing artefact files instead of re-parsing markdown.
+//
+// The -compare flag loads a prior artefact and prints per-experiment
+// speedup ratios (old wall-clock / new wall-clock); the command exits
+// non-zero if any experiment regressed by more than 10% (beyond a small
+// absolute guard against timer noise on sub-25ms experiments). Artefacts
+// produced before wall-clock stamping existed compare as "n/a".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -38,7 +46,8 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 10, "trials per measured cell")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		quick    = fs.Bool("quick", false, "smaller sizes and trial counts")
-		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR1.json)")
+		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR2.json)")
+		compare  = fs.String("compare", "", "prior JSON artefact to compare against (e.g. BENCH_PR1.json); exits non-zero on >10% wall-clock regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +75,11 @@ func run(args []string) error {
 			return fmt.Errorf("writing %s: %w", *jsonPath, err)
 		}
 	}
+	if *compare != "" {
+		if err := compareAgainst(os.Stdout, *compare, tables); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -75,4 +89,66 @@ func writeJSON(path string, tables []*experiments.Table) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// regressionGuardMS is the absolute slack added to the 10% regression
+// threshold: sub-25ms experiments flap by more than 10% from timer and
+// scheduler noise alone, so a regression must also cost at least this
+// much wall clock before it fails the comparison.
+const regressionGuardMS = 25
+
+// compareAgainst matches the freshly produced tables with a prior
+// artefact by experiment ID and prints the speedup table. It returns an
+// error (non-zero exit) if any experiment regressed by more than 10%
+// beyond the noise guard.
+func compareAgainst(w io.Writer, path string, tables []*experiments.Table) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading comparison artefact: %w", err)
+	}
+	var old []*experiments.Table
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	oldByID := make(map[string]*experiments.Table, len(old))
+	for _, t := range old {
+		oldByID[t.ID] = t
+	}
+	fmt.Fprintf(w, "### Comparison against %s\n\n", path)
+	fmt.Fprintln(w, "| experiment | old ms | new ms | speedup |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	var regressed []string
+	seen := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		seen[t.ID] = true
+		o, ok := oldByID[t.ID]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "| %s | — | %.1f | new |\n", t.ID, t.ElapsedMS)
+		case o.ElapsedMS <= 0 || t.ElapsedMS <= 0:
+			fmt.Fprintf(w, "| %s | n/a | %.1f | n/a |\n", t.ID, t.ElapsedMS)
+		default:
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %.2f× |\n", t.ID, o.ElapsedMS, t.ElapsedMS, o.ElapsedMS/t.ElapsedMS)
+			if t.ElapsedMS > o.ElapsedMS*1.10 && t.ElapsedMS-o.ElapsedMS > regressionGuardMS {
+				regressed = append(regressed, fmt.Sprintf("%s (%.1fms → %.1fms)", t.ID, o.ElapsedMS, t.ElapsedMS))
+			}
+		}
+	}
+	// Experiments in the old artefact that this run did not produce are
+	// lost coverage — a rename or removal must not silently pass the gate.
+	var missing []string
+	for _, o := range old {
+		if !seen[o.ID] {
+			fmt.Fprintf(w, "| %s | %.1f | — | missing |\n", o.ID, o.ElapsedMS)
+			missing = append(missing, o.ID)
+		}
+	}
+	fmt.Fprintln(w)
+	if len(regressed) > 0 {
+		return fmt.Errorf("wall-clock regression >10%%: %s", strings.Join(regressed, ", "))
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("experiments in %s not produced by this run: %s", path, strings.Join(missing, ", "))
+	}
+	return nil
 }

@@ -2,9 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"mpic/internal/experiments"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -32,6 +36,76 @@ func TestRunWritesJSON(t *testing.T) {
 	}
 	if len(tables) != 1 || tables[0].ID == "" || len(tables[0].Rows) == 0 {
 		t.Fatalf("JSON artefact incomplete: %+v", tables)
+	}
+}
+
+func TestCompareSpeedupsAndRegressions(t *testing.T) {
+	mk := func(id string, ms float64) *experiments.Table {
+		return &experiments.Table{ID: id, ElapsedMS: ms}
+	}
+	write := func(tables []*experiments.Table) string {
+		data, err := json.Marshal(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "old.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Faster or equal: fine. Missing and legacy (no timing) entries: fine.
+	old := write([]*experiments.Table{mk("E-1", 200), mk("E-2", 100), mk("E-3", 0)})
+	now := []*experiments.Table{mk("E-1", 100), mk("E-2", 104), mk("E-3", 80), mk("E-4", 5)}
+	var out strings.Builder
+	if err := compareAgainst(&out, old, now); err != nil {
+		t.Fatalf("clean comparison failed: %v", err)
+	}
+	for _, want := range []string{"2.00×", "n/a", "new"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("comparison table missing %q:\n%s", want, out.String())
+		}
+	}
+	// >10% and past the noise guard: must fail.
+	bad := []*experiments.Table{mk("E-1", 260), mk("E-2", 100)}
+	if err := compareAgainst(io.Discard, old, bad); err == nil {
+		t.Fatal("60ms/30% regression not reported")
+	}
+	// >10% but within the absolute noise guard: must pass. (E-1 and E-3
+	// are deliberately absent from the run here, so this also exercises
+	// the lost-coverage arm below before asserting it fails.)
+	noisy := []*experiments.Table{mk("E-1", 210), mk("E-2", 112), mk("E-3", 1)}
+	if err := compareAgainst(io.Discard, old, noisy); err != nil {
+		t.Fatalf("12ms wobble failed the gate: %v", err)
+	}
+	// An experiment present in the old artefact but missing from the new
+	// run is lost coverage and must fail the gate.
+	partial := []*experiments.Table{mk("E-1", 100), mk("E-3", 1)}
+	if err := compareAgainst(io.Discard, old, partial); err == nil {
+		t.Fatal("missing experiment E-2 passed the gate")
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1", "-json", first}); err != nil {
+		t.Fatal(err)
+	}
+	second := filepath.Join(dir, "second.json")
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1", "-json", second, "-compare", first}); err != nil {
+		t.Fatalf("comparison run failed: %v", err)
+	}
+	data, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []*experiments.Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ElapsedMS <= 0 || tables[0].Name != "rewind-wave" {
+		t.Fatalf("artefact missing timing or name: %+v", tables[0])
 	}
 }
 

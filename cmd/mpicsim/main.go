@@ -38,6 +38,7 @@ func run(args []string) error {
 		iters    = fs.Int("iterfactor", 100, "iteration budget multiplier (paper: 100)")
 		faithful = fs.Bool("faithful", false, "run all iterations (no early stop)")
 		parallel = fs.Bool("parallel", false, "use the concurrent network executor")
+		increm   = fs.Bool("incremental-hash", false, "checkpointed prefix hashing: per-iteration hash cost tracks transcript growth, not length")
 		asJSON   = fs.Bool("json", false, "print the result as JSON")
 		doTrace  = fs.Bool("trace", false, "print the per-iteration potential trace")
 	)
@@ -49,17 +50,18 @@ func run(args []string) error {
 		return err
 	}
 	cfg := mpic.Config{
-		Topology:       *topology,
-		N:              *n,
-		Workload:       *workload,
-		WorkloadRounds: *rounds,
-		Scheme:         sch,
-		Noise:          *noise,
-		NoiseRate:      *rate,
-		Seed:           *seed,
-		IterFactor:     *iters,
-		Faithful:       *faithful,
-		Parallel:       *parallel,
+		Topology:        *topology,
+		N:               *n,
+		Workload:        *workload,
+		WorkloadRounds:  *rounds,
+		Scheme:          sch,
+		Noise:           *noise,
+		NoiseRate:       *rate,
+		Seed:            *seed,
+		IterFactor:      *iters,
+		Faithful:        *faithful,
+		Parallel:        *parallel,
+		IncrementalHash: *increm,
 	}
 	res, err := mpic.Run(cfg)
 	if err != nil {

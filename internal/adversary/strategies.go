@@ -173,6 +173,85 @@ func (a *Adaptive) Corrupt(round int, link channel.Link, sent bitstring.Symbol) 
 	return sent.Add(1)
 }
 
+// RewindHammer manufactures deep truncations, the workload that stresses
+// rewind handling and any state caches keyed to transcript prefixes (the
+// incremental hash checkpoints). It alternates two windows per target
+// link: a poison window of Depth consecutive iterations during which it
+// corrupts simulation payload on the link every iteration — so both
+// endpoints keep extending transcripts whose suffixes have quietly
+// diverged — followed by a quiet window in which the meeting-points
+// checks notice the divergence and unwind it. Each poison window buys a
+// truncation roughly Depth chunks deep; rotating the target spreads the
+// hammering over every link. Like Adaptive it is non-oblivious in the
+// weak sense of consulting the public phase layout.
+type RewindHammer struct {
+	Links    []channel.Link
+	Oracle   PhaseOracle
+	SimPhase int // phase index identifying simulation rounds
+	Depth    int // poison window, iterations
+	Quiet    int // quiet window, iterations
+	PerIter  int // corruptions per poisoned iteration
+	budget   *Budget
+	curIter  int
+	spent    int
+}
+
+// NewRewindHammer builds a hammer over the given directed links that
+// poisons depth consecutive iterations, then stays quiet for quiet
+// iterations, under a rate corruption budget.
+func NewRewindHammer(links []channel.Link, oracle PhaseOracle, simPhase int, rate float64, depth, quiet int) *RewindHammer {
+	if depth < 1 {
+		depth = 1
+	}
+	if quiet < 1 {
+		quiet = 1
+	}
+	return &RewindHammer{
+		Links:    links,
+		Oracle:   oracle,
+		SimPhase: simPhase,
+		Depth:    depth,
+		Quiet:    quiet,
+		PerIter:  1,
+		budget:   &Budget{Rate: rate, Floor: depth},
+		curIter:  -1,
+	}
+}
+
+// SetContext implements ContextAware.
+func (a *RewindHammer) SetContext(ctx Context) { a.budget.SetContext(ctx) }
+
+// Corruptions returns how many slots were corrupted.
+func (a *RewindHammer) Corruptions() int { return a.budget.Used() }
+
+// Corrupt implements Adversary.
+func (a *RewindHammer) Corrupt(round int, link channel.Link, sent bitstring.Symbol) bitstring.Symbol {
+	if a.Oracle == nil || len(a.Links) == 0 {
+		return sent
+	}
+	phase, iter := a.Oracle(round)
+	if phase != a.SimPhase {
+		return sent
+	}
+	if iter != a.curIter {
+		a.curIter = iter
+		a.spent = 0
+	}
+	cycle := a.Depth + a.Quiet
+	if iter%cycle >= a.Depth {
+		return sent // quiet window: let the rewind wave run
+	}
+	target := a.Links[(iter/cycle)%len(a.Links)]
+	if link != target || a.spent >= a.PerIter || sent == bitstring.Silence {
+		return sent
+	}
+	if !a.budget.TrySpend() {
+		return sent
+	}
+	a.spent++
+	return sent.Add(uint8(1 + iter%2))
+}
+
 // FixedDeletions deletes Count consecutive payload bits on one directed
 // link (after letting Skip payload bits through) and then stops — an
 // attack with a known absolute budget, used for apples-to-apples

@@ -17,6 +17,52 @@ import (
 type BitVec struct {
 	words []uint64
 	n     int
+	// gen counts mutations (Append, AppendUint, Truncate). Derived
+	// structures that cache per-prefix state (the incremental hash
+	// checkpoints) compare generations to detect that the vector changed
+	// underneath them, instead of trusting callers to report every
+	// mutation.
+	gen uint64
+	// wms are the attached truncation watermarks; Truncate lowers each
+	// one to the smallest length the vector has had since the observer
+	// last synced. Appends never lower a watermark: bits below an
+	// existing length are immutable under append.
+	wms []*Watermark
+}
+
+// Gen returns the mutation generation: it changes (strictly increases)
+// whenever the vector is mutated. Equal generations imply the vector —
+// length and content — is unchanged.
+func (b *BitVec) Gen() uint64 { return b.gen }
+
+// Watermark tracks, for one observer, the minimum length its BitVec has
+// had since the observer last called Take. Cached prefix state (hash
+// checkpoints, partial accumulators) stays valid exactly up to that
+// minimum: bits below it were never discarded, while anything above may
+// have been truncated and rewritten.
+type Watermark struct {
+	b   *BitVec
+	low int
+}
+
+// AttachWatermark registers and returns a new truncation watermark,
+// initialized to the current length. The watermark stays attached for the
+// life of the vector; attaching is O(1) and each Truncate updates every
+// attached watermark (observer counts are small — one per derived cache).
+func (b *BitVec) AttachWatermark() *Watermark {
+	w := &Watermark{b: b, low: b.n}
+	b.wms = append(b.wms, w)
+	return w
+}
+
+// Take returns the minimum length the attached vector has had since the
+// previous Take (or since AttachWatermark), and resets the watermark to
+// the current length. A return value equal to the observer's last synced
+// length means no truncation touched the observer's prefix.
+func (w *Watermark) Take() int {
+	low := w.low
+	w.low = w.b.n
+	return low
 }
 
 // NewBitVec returns an empty bit vector with capacity for n bits.
@@ -40,6 +86,7 @@ func (b *BitVec) Append(bit byte) {
 		b.words[i] |= 1 << uint(b.n&63)
 	}
 	b.n++
+	b.gen++
 }
 
 // AppendUint appends the width low-order bits of v, least-significant
@@ -65,6 +112,7 @@ func (b *BitVec) AppendUint(v uint64, width int) {
 		b.words[i+1] |= v >> (64 - sh)
 	}
 	b.n = n
+	b.gen++
 }
 
 // Get returns bit i. It panics if i is out of range, matching slice
@@ -106,11 +154,19 @@ func (b *BitVec) Words() int { return (b.n + 63) / 64 }
 // by the next mutation.
 func (b *BitVec) RawWords() []uint64 { return b.words }
 
-// Truncate shortens the vector to n bits. It panics if n exceeds Len().
+// Truncate shortens the vector to n bits, lowering every attached
+// watermark that sits above n. It panics if n is negative or exceeds
+// Len() (nothing is mutated in that case).
 func (b *BitVec) Truncate(n int) {
 	if n < 0 || n > b.n {
 		panic(fmt.Sprintf("bitstring: truncate to %d out of range [0,%d]", n, b.n))
 	}
+	for _, w := range b.wms {
+		if n < w.low {
+			w.low = n
+		}
+	}
+	b.gen++
 	b.n = n
 	nw := (n + 63) / 64
 	b.words = b.words[:nw]
@@ -122,7 +178,8 @@ func (b *BitVec) Truncate(n int) {
 	}
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. Watermarks and the mutation
+// generation do not carry over: the copy starts with no observers.
 func (b *BitVec) Clone() *BitVec {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)

@@ -1,0 +1,95 @@
+package bitstring
+
+import "testing"
+
+func TestGenChangesOnEveryMutation(t *testing.T) {
+	b := NewBitVec(0)
+	g := b.Gen()
+	b.Append(1)
+	if b.Gen() == g {
+		t.Fatal("Append did not change the generation")
+	}
+	g = b.Gen()
+	b.AppendUint(0xff, 8)
+	if b.Gen() == g {
+		t.Fatal("AppendUint did not change the generation")
+	}
+	g = b.Gen()
+	b.Truncate(4)
+	if b.Gen() == g {
+		t.Fatal("Truncate did not change the generation")
+	}
+	g = b.Gen()
+	_ = b.Word(0)
+	_ = b.Get(0)
+	_ = b.RawWords()
+	if b.Gen() != g {
+		t.Fatal("read-only accessors changed the generation")
+	}
+}
+
+func TestWatermarkTracksMinimumLength(t *testing.T) {
+	b := NewBitVec(0)
+	b.AppendUint(0, 100)
+	w := b.AttachWatermark()
+	if got := w.Take(); got != 100 {
+		t.Fatalf("initial Take = %d, want current length 100", got)
+	}
+	// Grow, shrink below, regrow above: the watermark reports the valley.
+	b.AppendUint(0, 60) // 160
+	b.Truncate(70)
+	b.AppendUint(0, 200) // 270
+	if got := w.Take(); got != 70 {
+		t.Fatalf("Take after dip to 70 = %d, want 70", got)
+	}
+	// Immediately after a Take the watermark sits at the current length.
+	if got := w.Take(); got != 270 {
+		t.Fatalf("repeated Take = %d, want 270", got)
+	}
+	// Append-only activity never lowers it.
+	b.AppendUint(0, 10)
+	if got := w.Take(); got != 270 {
+		t.Fatalf("Take after pure appends = %d, want 270", got)
+	}
+}
+
+func TestWatermarkObserversIndependent(t *testing.T) {
+	b := NewBitVec(0)
+	b.AppendUint(0, 128)
+	w1 := b.AttachWatermark()
+	w2 := b.AttachWatermark()
+	b.Truncate(50)
+	b.AppendUint(0, 100) // 150
+	if got := w1.Take(); got != 50 {
+		t.Fatalf("w1.Take = %d, want 50", got)
+	}
+	// w1's Take must not reset w2's view of the dip.
+	b.Truncate(120)
+	if got := w2.Take(); got != 50 {
+		t.Fatalf("w2.Take = %d, want 50 (its own valley)", got)
+	}
+	if got := w1.Take(); got != 120 {
+		t.Fatalf("w1 second Take = %d, want 120", got)
+	}
+}
+
+func TestTruncatePanicsWithoutMutating(t *testing.T) {
+	b := NewBitVec(0)
+	b.AppendUint(0xabc, 12)
+	w := b.AttachWatermark()
+	g := b.Gen()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Truncate(-1) did not panic")
+			}
+		}()
+		b.Truncate(-1)
+	}()
+	if b.Gen() != g || b.Len() != 12 {
+		t.Fatal("failed Truncate mutated the vector")
+	}
+	if got := w.Take(); got != 12 {
+		t.Fatalf("failed Truncate moved the watermark: Take = %d, want 12", got)
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	WhiteBoxRate float64
 	// Parallel enables the concurrent send executor.
 	Parallel bool
+	// testAfterIter, when set by in-package tests, is called after every
+	// executed iteration with the live parties — the hook whitebox
+	// invariant checks (e.g. incremental-vs-reference hash agreement
+	// under rewind-heavy noise) attach to.
+	testAfterIter func(it int, parties []*party)
 }
 
 // WhiteBoxStats reports the collision attacker's bookkeeping.
@@ -134,6 +139,13 @@ func Run(opts Options) (*Result, error) {
 	maxLen := (iters + 1) * maxChunkBits
 	e.hash = hashing.NewInnerProductHash(p.HashBits, maxLen)
 	e.seedLay = hashing.NewSeedLayout(e.hash)
+	if p.IncrementalHash && !e.seedLay.RegionsDisjoint(iters) {
+		// The stable seed region starts at word 2^34 ≈ 1.7×10^10 (see
+		// hashing.stableBase for the sizing rationale); realistic budgets
+		// consume 10^8–10^9 per-iteration seed words, so only
+		// far-beyond-configured runs can get here.
+		return nil, fmt.Errorf("core: iteration budget %d overruns the stable seed region", iters)
+	}
 	// Pre-size the per-link seed caches for the transcript lengths runs
 	// actually reach — |Π| chunks plus slack for dummy chunks — so the
 	// hash path settles into zero steady-state allocation quickly without
@@ -231,6 +243,9 @@ func Run(opts Options) (*Result, error) {
 		eng.RunRounds(start, start+lay.iterRounds())
 		executed++
 		metrics.Iterations = executed
+		if opts.testAfterIter != nil {
+			opts.testAfterIter(it, coreParties)
+		}
 		if p.Oracle {
 			snap := oracle.observe(it)
 			res.Potential = append(res.Potential, snap)

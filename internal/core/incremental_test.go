@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpic/internal/adversary"
+	"mpic/internal/bitstring"
+	"mpic/internal/graph"
+	"mpic/internal/hashing"
+	"mpic/internal/protocol"
+)
+
+// testEnvIncremental mirrors testEnv with the incremental prefix-hash
+// path enabled.
+func testEnvIncremental(t *testing.T, g *graph.Graph) *env {
+	t.Helper()
+	e := testEnv(t, g)
+	e.params.IncrementalHash = true
+	return e
+}
+
+// TestRunFixedSeedPinned pins the observable outcome of fixed-seed runs
+// across four configurations (CRS, exchange, adaptive noise, white-box
+// collision attack). The values were captured from the PR 1 code before
+// the incremental-hash subsystem landed: the default configuration must
+// keep producing them bit-for-bit, proving the checkpoint machinery
+// changes nothing unless Params.IncrementalHash asks for it.
+func TestRunFixedSeedPinned(t *testing.T) {
+	type pin struct {
+		succ          bool
+		iters, gstar  int
+		cc            int64
+		wrong         int
+		tried, landed int // whitebox only (-1 = not applicable)
+	}
+	check := func(t *testing.T, res *Result, want pin) {
+		t.Helper()
+		got := pin{res.Success, res.Iterations, res.GStar, res.Metrics.CC, res.WrongParties, -1, -1}
+		if res.WhiteBox != nil {
+			got.tried, got.landed = res.WhiteBox.Tried, res.WhiteBox.Landed
+		}
+		if got != want {
+			t.Fatalf("fixed-seed run drifted:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	t.Run("alg1", func(t *testing.T) {
+		g := graph.Ring(6)
+		proto := protocol.NewRandom(g, 120, 0.5, 3, nil)
+		params := ParamsFor(Alg1, g)
+		params.IterFactor = 4
+		params.EarlyStop = false
+		params.CRSKey = 42
+		res, err := Run(Options{Protocol: proto, Params: params,
+			Adversary: adversary.NewRandomRate(0.002, rand.New(rand.NewSource(11)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res, pin{true, 104, 57, 32787, 0, -1, -1})
+	})
+	t.Run("algA", func(t *testing.T) {
+		g := graph.Line(5)
+		proto := protocol.NewRandom(g, 100, 0.5, 9, nil)
+		params := ParamsFor(AlgA, g)
+		params.IterFactor = 6
+		params.CRSKey = 7
+		res, err := Run(Options{Protocol: proto, Params: params,
+			Adversary: adversary.NewRandomRate(0.004, rand.New(rand.NewSource(5)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res, pin{false, 138, 6, 31127, 5, -1, -1})
+	})
+	t.Run("algB", func(t *testing.T) {
+		g := graph.Ring(4)
+		proto := protocol.NewRandom(g, 80, 0.5, 2, nil)
+		params := ParamsFor(AlgB, g)
+		params.IterFactor = 5
+		params.CRSKey = 3
+		res, err := Run(Options{Protocol: proto, Params: params,
+			AdversaryFactory: func(info RunInfo) adversary.Adversary {
+				return adversary.NewAdaptive(info.Links, info.PhaseOracle, 4, 0.003, rand.New(rand.NewSource(17)))
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res, pin{true, 9, 9, 4108, 0, -1, -1})
+	})
+	t.Run("whitebox", func(t *testing.T) {
+		g := graph.Line(4)
+		proto := protocol.NewRandom(g, 80, 0.5, 4, nil)
+		params := ParamsFor(Alg1, g)
+		params.IterFactor = 6
+		params.HashBits = 4
+		params.CRSKey = 13
+		res, err := Run(Options{Protocol: proto, Params: params, WhiteBoxRate: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res, pin{false, 120, 7, 10566, 4, 147, 20})
+	})
+}
+
+// TestIncrementalMatchesDefaultNoiseless: without noise, transcripts
+// never diverge, every consistency check compares identical prefixes
+// under identical seed blocks, and the hash values themselves never steer
+// control flow — so the incremental mode must reproduce the default
+// mode's observable results exactly, for CRS and exchange randomness.
+func TestIncrementalMatchesDefaultNoiseless(t *testing.T) {
+	for _, scheme := range []Scheme{Alg1, AlgA} {
+		g := graph.Ring(5)
+		proto := protocol.NewRandom(g, 150, 0.5, 6, nil)
+		run := func(incremental bool) *Result {
+			params := ParamsFor(scheme, g)
+			params.IterFactor = 4
+			params.CRSKey = 99
+			params.IncrementalHash = incremental
+			res, err := Run(Options{Protocol: proto, Params: params, Adversary: adversary.None{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		def, inc := run(false), run(true)
+		if def.Success != inc.Success || def.Iterations != inc.Iterations ||
+			def.Metrics.CC != inc.Metrics.CC || def.GStar != inc.GStar {
+			t.Fatalf("%v: incremental mode diverges noiselessly: def={succ:%v it:%d cc:%d g*:%d} inc={succ:%v it:%d cc:%d g*:%d}",
+				scheme, def.Success, def.Iterations, def.Metrics.CC, def.GStar,
+				inc.Success, inc.Iterations, inc.Metrics.CC, inc.GStar)
+		}
+		for i := range def.Outputs {
+			if string(def.Outputs[i]) != string(inc.Outputs[i]) {
+				t.Fatalf("%v: party %d output differs between modes", scheme, i)
+			}
+		}
+	}
+}
+
+// TestHasherIncrementalMatchesReference is the party-level golden test
+// for the incremental path: through real link state, across iterations,
+// appends and truncations, the checkpointed hasher must produce exactly
+// what the reference evaluator produces on the stable seed blocks.
+func TestHasherIncrementalMatchesReference(t *testing.T) {
+	g := graph.Line(3)
+	e := testEnvIncremental(t, g)
+	p := newParty(e, 1)
+	rng := rand.New(rand.NewSource(4))
+	appendChunk := func(ls *linkState, i int) {
+		ls.T.Append(ChunkRecord{Index: i, Syms: []bitstring.Symbol{
+			bitstring.Symbol(rng.Intn(3)), bitstring.Symbol(rng.Intn(3))}})
+	}
+	for _, ls := range p.links {
+		for i := 1; i <= 12; i++ {
+			appendChunk(ls, i)
+		}
+	}
+	for it := 0; it < 5; it++ {
+		p.prepareIteration(it)
+		for _, ls := range p.links {
+			// Rewind mid-iteration sequence, then regrow — the pattern
+			// that invalidates and rebuilds checkpoints.
+			if it == 2 {
+				ls.T.TruncateTo(ls.T.Len() - 5)
+			}
+			if it == 3 {
+				for i, target := ls.T.Len()+1, ls.T.Len()+4; i <= target; i++ {
+					appendChunk(ls, i)
+				}
+			}
+			for chunks := 0; chunks <= ls.T.Len(); chunks += 3 {
+				for slot := 1; slot <= 2; slot++ {
+					s := hashing.SlotMP1
+					if slot == 2 {
+						s = hashing.SlotMP2
+					}
+					want := e.hash.HashPrefix(ls.T.Bits(), ls.T.PrefixBits(chunks), ls.src, e.seedLay.StableOffset(s))
+					if got := ls.h.HashPrefix(chunks, slot); got != want {
+						t.Fatalf("it=%d chunks=%d slot=%d: incremental %#x != reference %#x", it, chunks, slot, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRewindHammerSchemes runs the truncation-forcing adversary against
+// schemes A and B: the runs must complete, account their corruptions, and
+// — because the hammer's whole point is forcing deep rollbacks — actually
+// truncate transcripts. With the incremental path enabled, an
+// after-iteration whitebox invariant re-checks every link's prefix hashes
+// against the reference evaluator, so checkpoint invalidation is
+// exercised by a live rewind storm, not just by unit fuzz.
+func TestRewindHammerSchemes(t *testing.T) {
+	for _, tc := range []struct {
+		scheme      Scheme
+		incremental bool
+	}{{AlgA, false}, {AlgA, true}, {AlgB, false}, {AlgB, true}} {
+		g := graph.Line(4)
+		proto := protocol.NewRandom(g, 120, 0.5, 8, nil)
+		params := ParamsFor(tc.scheme, g)
+		params.IterFactor = 8
+		params.EarlyStop = false
+		params.CRSKey = 21
+		params.IncrementalHash = tc.incremental
+		var hammer *adversary.RewindHammer
+		truncations := 0
+		lastLen := map[[2]graph.Node]int{}
+		opts := Options{
+			Protocol: proto,
+			Params:   params,
+			AdversaryFactory: func(info RunInfo) adversary.Adversary {
+				hammer = adversary.NewRewindHammer(info.Links, info.PhaseOracle, 3, 0.01, 3, 5)
+				return hammer
+			},
+			testAfterIter: func(it int, parties []*party) {
+				for _, p := range parties {
+					for _, ls := range p.links {
+						key := [2]graph.Node{p.id, ls.peer}
+						if ls.T.Len() < lastLen[key] {
+							truncations++
+						}
+						lastLen[key] = ls.T.Len()
+						if !tc.incremental {
+							continue
+						}
+						for _, chunks := range []int{0, ls.T.Len() / 2, ls.T.Len()} {
+							for slot := 1; slot <= 2; slot++ {
+								s := hashing.SlotMP1
+								if slot == 2 {
+									s = hashing.SlotMP2
+								}
+								want := p.env.hash.HashPrefix(ls.T.Bits(), ls.T.PrefixBits(chunks), ls.src, p.env.seedLay.StableOffset(s))
+								if got := ls.h.HashPrefix(chunks, slot); got != want {
+									t.Fatalf("%v inc=%v it=%d link %d→%d chunks=%d slot=%d: %#x != reference %#x",
+										tc.scheme, tc.incremental, it, p.id, ls.peer, chunks, slot, got, want)
+								}
+							}
+						}
+					}
+				}
+			},
+		}
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations == 0 {
+			t.Fatalf("%v inc=%v: no iterations executed", tc.scheme, tc.incremental)
+		}
+		if hammer.Corruptions() == 0 {
+			t.Fatalf("%v inc=%v: hammer never fired", tc.scheme, tc.incremental)
+		}
+		if truncations == 0 {
+			t.Fatalf("%v inc=%v: hammer forced no truncations", tc.scheme, tc.incremental)
+		}
+	}
+}
+
+// TestPrepareIterationIncrementalAllocs extends the steady-state
+// allocation pin to the incremental path: preparing iterations —
+// including the append/truncate churn that moves the checkpoint frontier
+// — must not allocate once warm.
+func TestPrepareIterationIncrementalAllocs(t *testing.T) {
+	g := graph.Line(3)
+	e := testEnvIncremental(t, g)
+	p := newParty(e, 1)
+	for _, ls := range p.links {
+		for i := 1; i <= 30; i++ {
+			ls.T.Append(ChunkRecord{Index: i, Syms: []bitstring.Symbol{bitstring.Sym1, bitstring.Sym0, bitstring.Silence}})
+		}
+	}
+	p.prepareIteration(0)
+	p.prepareIteration(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ls := range p.links {
+			ls.T.TruncateTo(29)
+		}
+		p.prepareIteration(2)
+		p.prepareIteration(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("incremental prepareIteration allocates %.1f times in steady state, want 0", allocs)
+	}
+}
+
+// TestTranscriptClamps pins the documented out-of-range behavior of
+// TruncateTo and PrefixBits (previously implicit; only the underlying
+// bitstring.Truncate panic had coverage).
+func TestTranscriptClamps(t *testing.T) {
+	tr := NewTranscript()
+	for i := 1; i <= 3; i++ {
+		tr.Append(ChunkRecord{Index: i, Syms: []bitstring.Symbol{bitstring.Sym1}})
+	}
+	full := tr.Bits().Len()
+	if got := tr.PrefixBits(-5); got != 0 {
+		t.Fatalf("PrefixBits(-5) = %d, want 0", got)
+	}
+	if got := tr.PrefixBits(99); got != full {
+		t.Fatalf("PrefixBits(99) = %d, want %d (clamped to Len)", got, full)
+	}
+	tr.TruncateTo(99) // no-op
+	if tr.Len() != 3 || tr.Bits().Len() != full {
+		t.Fatal("TruncateTo beyond Len mutated the transcript")
+	}
+	tr.TruncateTo(-1) // clamps to empty
+	if tr.Len() != 0 || tr.Bits().Len() != 0 {
+		t.Fatalf("TruncateTo(-1): len=%d bits=%d, want empty", tr.Len(), tr.Bits().Len())
+	}
+	tr.Append(ChunkRecord{Index: 1, Syms: []bitstring.Symbol{bitstring.Sym0}})
+	if tr.Len() != 1 {
+		t.Fatal("append after clamped truncation broken")
+	}
+}
+
+// TestPlanRewindsUsesOrdinalSlice covers the rewind-planning path after
+// the map→slice change: planning marks exactly the links ahead of the
+// minimum, Send-style consumption clears them, and steady-state planning
+// allocates nothing.
+func TestPlanRewindsUsesOrdinalSlice(t *testing.T) {
+	g := graph.Line(3)
+	e := testEnv(t, g)
+	p := newParty(e, 1)
+	// Put one link ahead of the other.
+	long := p.links[graph.Node(0)]
+	for i := 1; i <= 4; i++ {
+		long.T.Append(ChunkRecord{Index: i, Syms: []bitstring.Symbol{bitstring.Sym1}})
+	}
+	p.prepareIteration(0)
+	p.planRewinds(100)
+	if !p.rewindPlan[long.ord] {
+		t.Fatal("rewind not planned for the link ahead of the minimum")
+	}
+	if p.rewindPlan[p.links[graph.Node(2)].ord] {
+		t.Fatal("rewind planned for a link at the minimum")
+	}
+	if long.T.Len() != 3 {
+		t.Fatalf("planned rewind did not truncate: len=%d, want 3", long.T.Len())
+	}
+	p.rewindPlan[long.ord] = false
+	// Steady state: repeated planning rounds (lengths equalize, then
+	// no-ops) must not allocate.
+	round := 101
+	allocs := testing.AllocsPerRun(100, func() {
+		p.prepareIteration(1)
+		p.planRewinds(round)
+		round++
+		p.prepareIteration(2)
+		p.planRewinds(round)
+		round++
+	})
+	if allocs != 0 {
+		t.Fatalf("rewind planning allocates %.1f times in steady state, want 0", allocs)
+	}
+}

@@ -103,6 +103,27 @@ type Params struct {
 	DisableFlagPassing bool
 	// DisableRewind ablates the rewind phase (experiment E-F7).
 	DisableRewind bool
+	// IncrementalHash routes the two per-link transcript-prefix hashes of
+	// the meeting-points check through rewind-aware incremental
+	// checkpoints (hashing.Checkpointed): the prefix slots draw their
+	// seeds from a rewind-stable region of the stream
+	// (SeedLayout.StableOffset) that does not change between iterations,
+	// so per-iteration hash cost is Θ(transcript growth since the last
+	// checkpoint) instead of Θ(|T|) — the difference between quadratic
+	// and linear total hash work over an iteration budget. The counter
+	// hash keeps per-iteration fresh seeds.
+	//
+	// Trade-off: the paper draws fresh prefix-hash seeds every iteration,
+	// making hash collisions between divergent transcripts independent
+	// across checks; with stable seeds a colliding pair of prefixes
+	// collides at every check until one side's prefix changes. The
+	// meeting-points counters still force progress (rollbacks move mp1/mp2,
+	// changing the compared prefixes), but the per-iteration collision
+	// independence used by the union bound of Lemma 2.3 is weakened —
+	// raise HashBits when enabling this at scale. Off by default: the
+	// default configuration remains paper-faithful and bit-identical to
+	// previous releases for a fixed CRSKey.
+	IncrementalHash bool
 }
 
 // Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1 (0 for n ≤ 1). Exposed because the

@@ -39,14 +39,22 @@ type env struct {
 type linkState struct {
 	peer graph.Node
 	edge graph.Edge
-	T    *Transcript
-	mp   *meeting.State
-	src  hashing.SeedSource
+	// ord is the link's position in the party's neighbor order; per-link
+	// scratch that must not allocate per round (the rewind plan) is
+	// indexed by it.
+	ord int
+	T   *Transcript
+	mp  *meeting.State
+	src hashing.SeedSource
 	// ck, c1, c2 are the materialized seed blocks for the current
 	// iteration's three hash slots (counter, mp1 prefix, mp2 prefix); they
 	// are re-pointed by prepareIteration and feed the allocation-free
 	// kernel.
 	ck, c1, c2 *hashing.BlockCache
+	// p1, p2 replace c1, c2 when Params.IncrementalHash is set: rewind-
+	// aware checkpointed hashers over the stable seed region, whose cost
+	// per evaluation is proportional to transcript growth, not length.
+	p1, p2 *hashing.Checkpointed
 	// h is the link's meeting.Hasher, boxed once at source binding so the
 	// per-iteration hash calls do not re-box the interface value.
 	h    meeting.Hasher
@@ -89,8 +97,17 @@ func (h hasher) HashK(k int) uint64 {
 	return h.env.hash.HashWordCached(uint64(k), meeting.KWidth, h.ls.ck)
 }
 
-// HashPrefix implements meeting.Hasher.
+// HashPrefix implements meeting.Hasher. With IncrementalHash the
+// evaluation resumes from the checkpointed accumulators; otherwise it
+// sweeps the materialized per-iteration seed block.
 func (h hasher) HashPrefix(chunks int, slot int) uint64 {
+	if h.ls.p1 != nil {
+		p := h.ls.p1
+		if slot == 2 {
+			p = h.ls.p2
+		}
+		return p.HashPrefix(h.ls.T.PrefixBits(chunks))
+	}
 	c := h.ls.c1
 	if slot == 2 {
 		c = h.ls.c2
@@ -113,7 +130,11 @@ type party struct {
 	preparedIter int // iteration whose MP messages are prepared (-1 none)
 
 	rewindRound int // round whose rewind decisions are already planned
-	rewindPlan  map[graph.Node]bool
+	// rewindPlan[ord] says whether a rewind symbol is pending for the
+	// link at neighbor ordinal ord. A reusable slice rather than a map:
+	// planRewinds runs every rewind round of every iteration, and
+	// per-round map churn showed up as steady-state allocation.
+	rewindPlan []bool
 
 	// Memoized phase decomposition of the last round seen: Send, Deliver
 	// and EndRound each decompose the same round once per link, and the
@@ -150,13 +171,14 @@ func newParty(e *env, id graph.Node) *party {
 		preparedIter: -1,
 		rewindRound:  -1,
 		phRound:      -1,
-		rewindPlan:   make(map[graph.Node]bool),
+		rewindPlan:   make([]bool, len(e.g.Neighbors(id))),
 		rng:          rand.New(rand.NewSource(e.params.CRSKey ^ (0x5851f42d4c957f2d * int64(id+1)))),
 	}
-	for _, v := range p.neighbors {
+	for i, v := range p.neighbors {
 		ls := &linkState{
 			peer: v,
 			edge: graph.Edge{U: id, V: v}.Canonical(),
+			ord:  i,
 			T:    NewTranscript(),
 			mp:   meeting.NewState(),
 		}
@@ -203,15 +225,24 @@ func (p *party) initSeeds() {
 	}
 }
 
-// bindSource installs a link's seed stream and builds its per-slot block
-// caches over it, pre-sized from the layout so steady-state hashing
-// allocates nothing. Exchange-mode receivers bind late (finishExchange);
-// everyone else binds at construction.
+// bindSource installs a link's seed stream and builds its per-slot hash
+// state over it, pre-sized from the layout so steady-state hashing
+// allocates nothing: per-iteration block caches for the counter slot and
+// — depending on Params.IncrementalHash — either per-iteration caches or
+// rewind-stable checkpointed hashers for the two prefix slots.
+// Exchange-mode receivers bind late (finishExchange); everyone else binds
+// at construction.
 func (e *env) bindSource(ls *linkState, src hashing.SeedSource) {
 	ls.src = src
 	ls.ck = hashing.NewBlockCache(e.hash, src, 1)
-	ls.c1 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
-	ls.c2 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
+	if e.params.IncrementalHash {
+		bits := ls.T.Bits()
+		ls.p1 = hashing.NewCheckpointed(e.hash, src, e.seedLay.StableOffset(hashing.SlotMP1), bits, e.seedHintWords, 0)
+		ls.p2 = hashing.NewCheckpointed(e.hash, src, e.seedLay.StableOffset(hashing.SlotMP2), bits, e.seedHintWords, 0)
+	} else {
+		ls.c1 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
+		ls.c2 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
+	}
 	ls.h = hasher{env: e, ls: ls}
 }
 
@@ -277,8 +308,8 @@ func (p *party) Send(round int, to graph.Node) bitstring.Symbol {
 		return p.simSend(rel, ls)
 	default: // rewind
 		p.planRewinds(round)
-		if p.rewindPlan[to] {
-			p.rewindPlan[to] = false
+		if p.rewindPlan[ls.ord] {
+			p.rewindPlan[ls.ord] = false
 			return bitstring.Sym1
 		}
 		return bitstring.Silence
@@ -362,8 +393,14 @@ func (p *party) prepareIteration(it int) {
 		ls.alreadyRewound = false
 		ls.skip = false
 		ls.ck.SetBlock(p.env.seedLay.Offset(it, hashing.SlotK))
-		ls.c1.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP1))
-		ls.c2.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP2))
+		if ls.p1 == nil {
+			// Per-iteration prefix seeds: re-point the caches at this
+			// iteration's blocks. The checkpointed hashers need no
+			// per-iteration step — their seed block is rewind-stable and
+			// invalidation is driven by the transcript itself.
+			ls.c1.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP1))
+			ls.c2.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP2))
+		}
 		msg := ls.mp.Outgoing(ls.h, ls.T.Len())
 		ls.mpOwn = msg
 		if ls.mpOut == nil {
@@ -452,7 +489,7 @@ func (p *party) planRewinds(round int) {
 		if ls.T.Len() > minChunk {
 			ls.T.TruncateTo(ls.T.Len() - 1)
 			ls.alreadyRewound = true
-			p.rewindPlan[v] = true
+			p.rewindPlan[ls.ord] = true
 		}
 	}
 }

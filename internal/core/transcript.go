@@ -53,7 +53,13 @@ func (t *Transcript) Append(rec ChunkRecord) {
 	t.offs = append(t.offs, t.bits.Len())
 }
 
-// TruncateTo rolls the transcript back to n chunks. No-op if n >= Len().
+// TruncateTo rolls the transcript back to n chunks. Out-of-range
+// arguments clamp rather than panic: n < 0 truncates to empty (rewind
+// waves can legitimately ask for "one less than nothing" on an empty
+// link) and n >= Len() is a no-op. Truncation propagates structurally to
+// the cached bit encoding — any attached watermark (the incremental hash
+// checkpoints) observes the rollback through bitstring.BitVec, with no
+// further notification from this type.
 func (t *Transcript) TruncateTo(n int) {
 	if n < 0 {
 		n = 0
@@ -67,6 +73,10 @@ func (t *Transcript) TruncateTo(n int) {
 }
 
 // PrefixBits returns the encoded bit length of the first n chunks.
+// Out-of-range arguments clamp: n < 0 reads as 0 (empty prefix) and
+// n > Len() reads as Len() — meeting points computed from a counter that
+// outruns a freshly truncated transcript must still hash a well-defined
+// prefix.
 func (t *Transcript) PrefixBits(n int) int {
 	if n < 0 {
 		n = 0

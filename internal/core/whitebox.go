@@ -97,7 +97,10 @@ func (w *whiteBoxAttacker) Corrupt(round int, link channel.Link, sent bitstring.
 }
 
 // futureHash predicts the endpoint's full-transcript hash at the next
-// meeting-points check, with the chunk's final slot holding sym.
+// meeting-points check, with the chunk's final slot holding sym. The seed
+// block mirrors the parties' configuration: the per-iteration block, or
+// the rewind-stable one under IncrementalHash (which makes the attacker's
+// life easier still — a found collision keeps paying across iterations).
 func (w *whiteBoxAttacker) futureHash(ls *linkState, pending []bitstring.Symbol, lastIdx int, sym bitstring.Symbol, iter int) uint64 {
 	bits := ls.T.Bits().Clone()
 	bits.AppendUint(uint64(ls.simChunk), chunkIndexBits)
@@ -108,5 +111,8 @@ func (w *whiteBoxAttacker) futureHash(ls *linkState, pending []bitstring.Symbol,
 		bits.AppendSymbol(s)
 	}
 	off := w.e.seedLay.Offset(iter, hashing.SlotMP1)
+	if w.e.params.IncrementalHash {
+		off = w.e.seedLay.StableOffset(hashing.SlotMP1)
+	}
 	return w.e.hash.Hash(bits, ls.src, off)
 }

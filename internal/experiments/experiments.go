@@ -42,11 +42,19 @@ func (c Config) trials() int {
 
 // Table is a formatted experiment result.
 type Table struct {
-	ID     string
+	ID string
+	// Name is the registry key that produced the table (set by Run and
+	// RunAll), so artefact consumers can re-run a single experiment.
+	Name   string `json:",omitempty"`
 	Title  string
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// ElapsedMS is the wall-clock cost of producing the table (set by Run
+	// and RunAll). Successive BENCH_PR<n>.json artefacts carry it so
+	// `mpicbench -compare` can report per-experiment speedups and catch
+	// performance regressions between PRs.
+	ElapsedMS float64 `json:",omitempty"`
 }
 
 // Markdown renders the table as GitHub markdown.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Runner produces one experiment table.
@@ -35,20 +36,28 @@ func Names() []string {
 	return out
 }
 
-// Run executes one named experiment.
+// Run executes one named experiment, stamping the table with the
+// registry key and its wall-clock cost.
 func Run(name string, cfg Config) (*Table, error) {
 	r, ok := Registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return r(cfg)
+	start := time.Now()
+	t, err := r(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Name = name
+	t.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return t, nil
 }
 
 // RunAll executes every experiment in name order.
 func RunAll(cfg Config) ([]*Table, error) {
 	var out []*Table
 	for _, name := range Names() {
-		t, err := Registry[name](cfg)
+		t, err := Run(name, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", name, err)
 		}

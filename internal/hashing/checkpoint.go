@@ -1,0 +1,174 @@
+package hashing
+
+import (
+	"mpic/internal/bitstring"
+)
+
+// DefaultCheckpointSpacing is the checkpoint interval in 64-bit words.
+// Eight words (512 transcript bits) keeps the per-evaluation resume sweep
+// a few cache lines long while storing one τ-word snapshot per 8·τ seed
+// words — a 12.5% memory overhead on the materialized seed rows. Smaller
+// spacings buy nothing once the resume sweep is already cheaper than the
+// hash's fixed costs (fold + bookkeeping); larger ones make every
+// evaluation re-sweep a longer tail for no memory that matters. See
+// PERF.md ("checkpoint spacing") for the measurements behind the default.
+const DefaultCheckpointSpacing = 8
+
+// Checkpointed evaluates prefix hashes of one growing, rewindable bit
+// vector against one fixed seed block, in time proportional to the growth
+// since the previous evaluation rather than to the prefix length.
+//
+// It maintains the τ per-row partial accumulators of the inner-product
+// kernel, snapshotted every spacing words: checkpoint i stores the
+// accumulator state over words [0, i·spacing) of x. HashPrefix resumes
+// from the highest valid checkpoint at or below the requested prefix,
+// sweeps only the remaining tail, and pushes new checkpoints as it
+// crosses boundaries. Because the meeting-points mechanism only ever
+// extends or truncates the transcript, successive evaluations touch
+// Θ(growth + spacing) words instead of re-sweeping from word 0.
+//
+// Invalidation contract: checkpoints cache a pure function of x's prefix
+// content, so they are invalidated structurally, not by caller
+// convention. The store attaches a bitstring.Watermark to x at
+// construction; whenever x's mutation generation changes, the store takes
+// the watermark — the minimum length x has had since the last evaluation
+// — and discards every checkpoint covering words at or above that low
+// point before hashing. Callers therefore never notify the store of
+// truncations (Transcript.TruncateTo simply truncates the vector); a
+// checkpoint can only be consulted after any rollback below it has been
+// observed. Appends never invalidate: bits below a previous length are
+// immutable under append, which is exactly the access pattern
+// (truncate-or-extend) the meeting points of Braverman–Gelles–Mao–
+// Ostrovsky guarantee.
+//
+// The output is bit-identical to
+// InnerProductHash.HashPrefix(x, nbits, src, base) — the golden fuzz test
+// pins this under randomized append/truncate/hash schedules — so both
+// endpoints of a link agree as long as they use the same base offset,
+// which SeedLayout.StableOffset provides. A Checkpointed is owned by one
+// link endpoint and is not safe for concurrent use.
+type Checkpointed struct {
+	h *InnerProductHash
+	x *bitstring.BitVec
+	c *BlockCache // seed rows of the fixed block at base
+	w *bitstring.Watermark
+
+	spacing int
+	gen     uint64   // x.Gen() at the last sync
+	ck      []uint64 // ck[(i-1)·τ + j]: row-j accumulator over words [0, i·spacing)
+	nck     int      // highest valid checkpoint index (0 = none)
+}
+
+// NewCheckpointed returns an incremental prefix hasher for x over the
+// seed block of src starting at base (normally SeedLayout.StableOffset).
+// hintWords pre-sizes the seed rows and the checkpoint store for row
+// prefixes of that many words, so steady-state hashing allocates nothing;
+// spacing is the checkpoint interval in words (≤ 0 selects
+// DefaultCheckpointSpacing).
+func NewCheckpointed(h *InnerProductHash, src SeedSource, base uint64, x *bitstring.BitVec, hintWords, spacing int) *Checkpointed {
+	if spacing <= 0 {
+		spacing = DefaultCheckpointSpacing
+	}
+	s := &Checkpointed{
+		h:       h,
+		x:       x,
+		c:       NewBlockCache(h, src, hintWords),
+		w:       x.AttachWatermark(),
+		spacing: spacing,
+		gen:     x.Gen(),
+	}
+	s.c.SetBlock(base)
+	if maxRow := int(h.wordsPerRow()); hintWords > maxRow {
+		hintWords = maxRow
+	}
+	if hintWords > 0 {
+		s.ck = make([]uint64, 0, (hintWords/spacing+1)*h.Tau)
+	}
+	return s
+}
+
+// Source returns the underlying seed source.
+func (s *Checkpointed) Source() SeedSource { return s.c.Source() }
+
+// Spacing returns the checkpoint interval in words.
+func (s *Checkpointed) Spacing() int { return s.spacing }
+
+// Checkpoints returns the number of currently valid checkpoints (test and
+// instrumentation hook).
+func (s *Checkpointed) Checkpoints() int {
+	s.sync()
+	return s.nck
+}
+
+// sync discards checkpoints that a rollback of x may have invalidated.
+// The generation check makes the no-mutation case one comparison; after
+// any mutation the watermark yields the lowest bit length x reached, and
+// every checkpoint covering words at or beyond that point is dropped.
+func (s *Checkpointed) sync() {
+	g := s.x.Gen()
+	if g == s.gen {
+		return
+	}
+	low := s.w.Take()
+	if maxCk := (low >> 6) / s.spacing; maxCk < s.nck {
+		s.nck = maxCk
+	}
+	s.gen = g
+}
+
+// HashPrefix evaluates the hash on the first nbits bits of x, resuming
+// from the highest valid checkpoint at or below the prefix. Output is
+// bit-identical to the reference evaluator on the same seed block;
+// steady-state evaluation allocates nothing.
+func (s *Checkpointed) HashPrefix(nbits int) uint64 {
+	if nbits > s.x.Len() {
+		nbits = s.x.Len()
+	}
+	if nbits < 0 {
+		nbits = 0
+	}
+	s.sync()
+	xw := s.x.RawWords()
+	nw, tailMask := s.h.sweepBounds(nbits, len(xw))
+	if nw == 0 {
+		return 0
+	}
+	s.c.ensure(nw)
+	tau := s.h.Tau
+	buf := s.c.buf
+	// Resume. The final word of the sweep is tail-masked, so a checkpoint
+	// is usable only if every word it covers lies strictly before nw-1;
+	// clamping to (nw-1)/spacing guarantees that.
+	k := (nw - 1) / s.spacing
+	if k > s.nck {
+		k = s.nck
+	}
+	var acc [64]uint64
+	if k > 0 {
+		copy(acc[:tau], s.ck[(k-1)*tau:k*tau])
+	}
+	for i := k * s.spacing; i < nw; i++ {
+		if i > 0 && i%s.spacing == 0 && i/s.spacing == s.nck+1 {
+			// acc covers exactly words [0, i) of x, all of them complete
+			// (i ≤ nw-1 < ⌈Len/64⌉) and unmasked: snapshot.
+			s.pushCheckpoint(acc[:tau])
+		}
+		w := xw[i]
+		if i == nw-1 {
+			w &= tailMask
+		}
+		for j, sw := range buf[i*tau : i*tau+tau] {
+			acc[j] ^= w & sw
+		}
+	}
+	return foldParity(acc[:tau])
+}
+
+// pushCheckpoint appends the next checkpoint snapshot after the live
+// frontier (entries past nck·τ are stale after an invalidation and are
+// overwritten in place; append's geometric growth keeps steady-state
+// extension allocation-free once warm).
+func (s *Checkpointed) pushCheckpoint(acc []uint64) {
+	s.ck = append(s.ck[:s.nck*len(acc)], acc...)
+	s.nck++
+}

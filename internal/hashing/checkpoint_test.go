@@ -1,0 +1,179 @@
+package hashing
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"mpic/internal/bitstring"
+)
+
+// TestCheckpointedGoldenEquivalence is the golden test for the incremental
+// prefix hasher: under randomized append/truncate/hash schedules — the
+// exact access pattern the meeting-points mechanism produces — every
+// evaluation must agree bit-for-bit with the reference interface-dispatch
+// evaluator on the same fixed seed block, for τ ∈ {1..64} and both seed
+// sources. This is the invariant that keeps both endpoints of a link in
+// agreement when one of them runs the checkpointed path.
+func TestCheckpointedGoldenEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20262))
+	for trial := 0; trial < 320; trial++ {
+		tau := 1 + rng.Intn(64)
+		maxLen := 1 + rng.Intn(900)
+		h := NewInnerProductHash(tau, maxLen)
+		var src, srcRef SeedSource
+		a, b := rng.Uint64(), rng.Uint64()
+		if trial%2 == 0 {
+			src, srcRef = NewPRFSource(a, b), NewPRFSource(a, b)
+		} else {
+			src, srcRef = NewAGHPSource(a, b), NewAGHPSource(a, b)
+		}
+		lay := NewSeedLayout(h)
+		base := lay.StableOffset(Slot(rng.Intn(int(numSlots))))
+		x := bitstring.NewBitVec(0)
+		spacing := rng.Intn(12) // 0 selects the default
+		s := NewCheckpointed(h, src, base, x, rng.Intn(10), spacing)
+		for step := 0; step < 40; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // append a short run of bits
+				w := 1 + rng.Intn(64)
+				x.AppendUint(rng.Uint64(), w)
+			case op < 7 && x.Len() > 0: // rewind
+				x.Truncate(rng.Intn(x.Len() + 1))
+			default: // consistency check at a random prefix
+				nbits := rng.Intn(x.Len() + 1)
+				if rng.Intn(4) == 0 {
+					nbits = x.Len() // full transcript, the common case
+				}
+				got := s.HashPrefix(nbits)
+				want := h.HashPrefix(x, nbits, srcRef, base)
+				if got != want {
+					t.Fatalf("trial %d step %d: τ=%d maxLen=%d len=%d nbits=%d spacing=%d: incremental %#x != reference %#x",
+						trial, step, tau, maxLen, x.Len(), nbits, s.Spacing(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointedResumesAndInvalidates pins the checkpoint lifecycle:
+// evaluations extend the checkpoint frontier as the vector grows, a
+// truncation drops exactly the checkpoints above the rollback point, and
+// hashing after the rollback still matches the reference.
+func TestCheckpointedResumesAndInvalidates(t *testing.T) {
+	h := NewInnerProductHash(8, 1<<14)
+	src, ref := NewPRFSource(3, 4), NewPRFSource(3, 4)
+	lay := NewSeedLayout(h)
+	base := lay.StableOffset(SlotMP1)
+	x := bitstring.NewBitVec(0)
+	s := NewCheckpointed(h, src, base, x, 0, 4)
+	for i := 0; i < 64; i++ {
+		x.AppendUint(rand.New(rand.NewSource(int64(i))).Uint64(), 64)
+	}
+	s.HashPrefix(x.Len())
+	// 64 words at spacing 4: the masked final word keeps the frontier one
+	// word short of the end, so checkpoints 1..15 (covering 4..60 words).
+	if got := s.Checkpoints(); got != 15 {
+		t.Fatalf("checkpoints after 64 words = %d, want 15", got)
+	}
+	// Truncating into word 22 keeps words 0..21 intact: checkpoints
+	// covering up to 20 words (index 5) survive.
+	x.Truncate(22*64 + 7)
+	if got := s.Checkpoints(); got != 5 {
+		t.Fatalf("checkpoints after truncate to word 22 = %d, want 5", got)
+	}
+	if got, want := s.HashPrefix(x.Len()), h.HashPrefix(x, x.Len(), ref, base); got != want {
+		t.Fatalf("post-truncation hash %#x != reference %#x", got, want)
+	}
+	// Regrow with different content: checkpoints must not resurrect.
+	for i := 0; i < 64; i++ {
+		x.AppendUint(^uint64(i), 64)
+	}
+	if got, want := s.HashPrefix(x.Len()), h.HashPrefix(x, x.Len(), ref, base); got != want {
+		t.Fatalf("post-regrow hash %#x != reference %#x", got, want)
+	}
+}
+
+// TestCheckpointedSteadyStateAllocs pins the zero-allocation contract of
+// the incremental path under the protocol's real access pattern: grow,
+// hash, rewind, hash. Once the seed rows and the checkpoint store are
+// warm, none of it allocates.
+func TestCheckpointedSteadyStateAllocs(t *testing.T) {
+	h := NewInnerProductHash(8, 1<<13)
+	src := NewPRFSource(1, 2)
+	lay := NewSeedLayout(h)
+	x := bitstring.NewBitVec(1 << 13)
+	s := NewCheckpointed(h, src, lay.StableOffset(SlotMP1), x, (1<<13)/64, 0)
+	rng := rand.New(rand.NewSource(9))
+	for x.Len() < 6000 {
+		x.AppendUint(rng.Uint64(), 37)
+	}
+	s.HashPrefix(x.Len())
+	allocs := testing.AllocsPerRun(100, func() {
+		x.AppendUint(0xdeadbeef, 37)
+		_ = s.HashPrefix(x.Len())
+		x.Truncate(x.Len() - 37)
+		_ = s.HashPrefix(x.Len())
+		_ = s.HashPrefix(x.Len() / 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("incremental hash path allocates %.1f times in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkCheckpointedSpacing measures the steady-state protocol access
+// pattern — append a chunk's worth of bits, hash the full prefix, and
+// every few cycles rewind one chunk — across checkpoint spacings, on a
+// long transcript (~16k bits). This is the measurement behind
+// DefaultCheckpointSpacing: once the resume sweep is shorter than the
+// hash's fixed costs, tightening the spacing only costs memory.
+func BenchmarkCheckpointedSpacing(b *testing.B) {
+	for _, spacing := range []int{2, 8, 32, 128} {
+		b.Run("spacing="+strconv.Itoa(spacing), func(b *testing.B) {
+			h := NewInnerProductHash(8, 1<<18)
+			src := NewPRFSource(1, 2)
+			lay := NewSeedLayout(h)
+			x := bitstring.NewBitVec(1 << 15)
+			s := NewCheckpointed(h, src, lay.StableOffset(SlotMP1), x, (1<<15)/64, spacing)
+			rng := rand.New(rand.NewSource(7))
+			for x.Len() < 1<<14 {
+				x.AppendUint(rng.Uint64(), 42)
+			}
+			s.HashPrefix(x.Len())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.AppendUint(rng.Uint64(), 42)
+				_ = s.HashPrefix(x.Len())
+				if i%4 == 3 {
+					x.Truncate(x.Len() - 3*42)
+					_ = s.HashPrefix(x.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestStableOffsetsDisjoint: the rewind-stable blocks must not collide
+// with each other or with any realistic per-iteration block.
+func TestStableOffsetsDisjoint(t *testing.T) {
+	h := NewInnerProductHash(16, 1<<18)
+	l := NewSeedLayout(h)
+	for s := SlotK; s < numSlots; s++ {
+		for q := s + 1; q < numSlots; q++ {
+			lo, hi := l.StableOffset(s), l.StableOffset(q)
+			if hi-lo < h.SeedWords() {
+				t.Fatalf("stable blocks for slots %d and %d overlap", s, q)
+			}
+		}
+	}
+	// A budget far beyond any configured run (tens of thousands of
+	// iterations at a quarter-million-bit MaxLen) still stays below the
+	// stable region; absurd budgets must trip the guard loudly.
+	if !l.RegionsDisjoint(1 << 16) {
+		t.Fatal("per-iteration region reaches the stable region at 2^16 iterations")
+	}
+	if l.RegionsDisjoint(1 << 40) {
+		t.Fatal("RegionsDisjoint must eventually report overlap for absurd budgets")
+	}
+}

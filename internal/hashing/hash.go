@@ -144,30 +144,53 @@ func (h *InnerProductHash) HashWordCached(v uint64, width int, c *BlockCache) ui
 	return h.hashWords(xw[:], width, c)
 }
 
-// hashWords is the devirtualized inner-product kernel: a transposed sweep
-// that loads each input word once and XORs it into all τ row accumulators,
-// reading the interleaved seed buffer strictly sequentially, then folds
-// each accumulator to its parity bit with a popcount. Words of xw at
-// positions >= ⌈nbits/64⌉ are ignored and missing trailing words are
-// treated as zero (they contribute nothing to any inner product).
-func (h *InnerProductHash) hashWords(xw []uint64, nbits int, c *BlockCache) uint64 {
-	nw := (nbits + 63) / 64
+// sweepBounds fixes the geometry every prefix sweep shares (the cached
+// kernel here and the checkpointed incremental evaluator): the number of
+// input words a sweep of nbits bits covers — clamped to the row length
+// and the words actually present; missing trailing words are zero and
+// contribute nothing — and the mask applied to the sweep's final word.
+// Single-sourcing this is what keeps the evaluators bit-identical (the
+// golden-equivalence contract) when masking or clamping rules change.
+func (h *InnerProductHash) sweepBounds(nbits, words int) (nw int, tailMask uint64) {
+	nw = (nbits + 63) / 64
 	if row := int(h.wordsPerRow()); nw > row {
 		nw = row
 	}
-	if nw > len(xw) {
-		nw = len(xw)
+	if nw > words {
+		nw = words
 	}
+	tailMask = ^uint64(0)
+	if r := uint(nbits & 63); r != 0 {
+		tailMask = 1<<r - 1
+	}
+	return nw, tailMask
+}
+
+// foldParity folds each row accumulator to its parity bit with a
+// popcount, packing output bit j from acc[j]. Shared by every evaluator
+// for the same reason as sweepBounds.
+func foldParity(acc []uint64) uint64 {
+	var out uint64
+	for j, a := range acc {
+		out |= uint64(bits.OnesCount64(a)&1) << j
+	}
+	return out
+}
+
+// hashWords is the devirtualized inner-product kernel: a transposed sweep
+// that loads each input word once and XORs it into all τ row accumulators,
+// reading the interleaved seed buffer strictly sequentially, then folds
+// each accumulator to its parity bit. Words of xw at positions >=
+// ⌈nbits/64⌉ are ignored and missing trailing words are treated as zero
+// (they contribute nothing to any inner product).
+func (h *InnerProductHash) hashWords(xw []uint64, nbits int, c *BlockCache) uint64 {
+	nw, tailMask := h.sweepBounds(nbits, len(xw))
 	if nw == 0 {
 		return 0
 	}
 	c.ensure(nw)
 	tau := h.Tau
 	buf := c.buf
-	var tailMask uint64 = ^uint64(0)
-	if r := uint(nbits & 63); r != 0 {
-		tailMask = 1<<r - 1
-	}
 	var acc [64]uint64
 	for i := 0; i < nw; i++ {
 		w := xw[i]
@@ -178,9 +201,5 @@ func (h *InnerProductHash) hashWords(xw []uint64, nbits int, c *BlockCache) uint
 			acc[j] ^= w & sw
 		}
 	}
-	var out uint64
-	for j := 0; j < tau; j++ {
-		out |= uint64(bits.OnesCount64(acc[j])&1) << j
-	}
-	return out
+	return foldParity(acc[:tau])
 }

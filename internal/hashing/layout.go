@@ -35,3 +35,39 @@ func (l *SeedLayout) Offset(it int, s Slot) uint64 {
 	block := l.hash.SeedWords()
 	return (uint64(it)*uint64(numSlots) + uint64(s)) * block
 }
+
+// stableBase is the first seed word of the rewind-stable region: the
+// per-slot seed blocks that do not change between iterations, used by the
+// incremental prefix-hash checkpoints. Two constraints pull in opposite
+// directions. The per-iteration region of Offset grows upward from word 0
+// and must stay below it: realistic budgets top out around 10^8–10^9
+// seed words (iterations × 3 slots × SeedWords), an order of magnitude
+// and more of headroom — and RegionsDisjoint makes an overrun a loud
+// construction-time error, not a silent overlap. Pulling downward, the
+// AGHP source's bias grows with the highest stream position consumed
+// (δ ≤ N/2^64 for N stream bits, Lemma 2.5): at 2^34 words the stable
+// blocks sit near bit 2^40, keeping δ ≤ 2^-24 — below any per-check
+// collision probability 2^-τ the schemes configure — where a lavish
+// base like 2^50 would have floored δ at 2^-8 regardless of τ.
+const stableBase uint64 = 1 << 34
+
+// StableOffset returns the first seed word of the iteration-independent
+// block for slot s. Both endpoints of a link compute the same offsets over
+// the same stream, so — exactly as with Offset — their hash evaluations
+// agree. Unlike Offset, the returned block is fixed for the whole run:
+// hashing a transcript prefix against it yields the same value in every
+// iteration, which is what lets checkpointed partial accumulators survive
+// across iterations and rewinds (see Checkpointed).
+func (l *SeedLayout) StableOffset(s Slot) uint64 {
+	return stableBase + uint64(s)*l.hash.SeedWords()
+}
+
+// RegionsDisjoint reports whether the per-iteration region for the given
+// iteration budget stays clear of the stable region — construction-time
+// validation for configurations beyond the documented headroom.
+func (l *SeedLayout) RegionsDisjoint(iters int) bool {
+	if iters < 0 {
+		return true
+	}
+	return l.Offset(iters, SlotK) <= stableBase
+}

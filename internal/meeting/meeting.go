@@ -72,8 +72,19 @@ type Message struct {
 }
 
 // Hasher provides the hash evaluations a step needs. Implementations hash
-// with the per-(iteration, slot) seeds shared by both endpoints, so equal
-// values mean (up to hash collisions) equal inputs.
+// with seeds shared by both endpoints, so equal values mean (up to hash
+// collisions) equal inputs.
+//
+// Contract: within one meeting-points step, repeated evaluations of the
+// same (input, slot) must return the same value, and both endpoints'
+// hashers must use the same seed block per slot. Across iterations the
+// seed block per slot may either be refreshed (the paper's CRS draw —
+// collisions are independent across checks) or rewind-stable (the
+// incremental checkpointed evaluator — Θ(growth) per check but a
+// colliding prefix pair persists until a rollback moves the meeting
+// points). Implementations are free to cache per-prefix state across
+// calls: the mechanism only ever extends or truncates the transcript
+// between steps, and never mutates it during one.
 type Hasher interface {
 	// HashK hashes the counter value k.
 	HashK(k int) uint64

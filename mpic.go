@@ -131,6 +131,12 @@ type Config struct {
 	Faithful bool
 	// Parallel enables the concurrent network executor.
 	Parallel bool
+	// IncrementalHash routes the meeting-points prefix hashes through
+	// rewind-aware incremental checkpoints: Θ(growth) hash work per
+	// iteration instead of Θ(transcript), at the cost of rewind-stable
+	// (rather than per-iteration fresh) prefix-hash seeds. See
+	// core.Params.IncrementalHash for the fidelity trade-off.
+	IncrementalHash bool
 }
 
 // NewTopology builds one of the named topology families.
@@ -214,6 +220,7 @@ func (cfg Config) build() (Protocol, core.Options, error) {
 	if cfg.Faithful {
 		params.EarlyStop = false
 	}
+	params.IncrementalHash = cfg.IncrementalHash
 	opts := core.Options{
 		Protocol: proto,
 		Params:   params,
