@@ -3,13 +3,15 @@
 # packages with GOMAXPROCS forced to 4, so the persistent parallel round
 # engine and the incremental checkpoint store get real concurrency
 # coverage even on single-CPU boxes (where the worker pool would
-# otherwise stay disabled and races could hide).
+# otherwise stay disabled and races could hide), plus an explicit
+# build/vet/test pass over examples/ so the public Scenario/Runner API
+# cannot drift from its documented usage.
 
 GO ?= go
 
-.PHONY: verify tier1 race bench compare
+.PHONY: verify tier1 race examples bench compare sweep
 
-verify: tier1 race
+verify: tier1 race examples
 
 tier1:
 	$(GO) build ./...
@@ -19,6 +21,14 @@ tier1:
 race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/...
 
+# The examples are the public API's living documentation; their example
+# tests (external registration through the open registries) must keep
+# passing.
+examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+	$(GO) test -count=1 ./examples/...
+
 # Amortized per-iteration cost and the budget-scaling sweep (PERF.md).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkScaling' -benchmem .
@@ -26,4 +36,9 @@ bench:
 # Regenerate the experiment artefact and gate it against the previous
 # PR's (fails on >10% wall-clock regression).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR2.json -compare BENCH_PR1.json
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR3.json -compare BENCH_PR2.json
+
+# Exercise Runner.Sweep on a small n × scheme × rate grid.
+sweep:
+	$(GO) run ./cmd/mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B \
+		-sweep-rates 0,0.001 -trials 2 -sweep-iterfactor 20

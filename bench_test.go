@@ -1,4 +1,4 @@
-package mpic
+package mpic_test
 
 // Benchmark harness: one benchmark per evaluation artefact of DESIGN.md
 // §4 (the Table 1 regeneration and every figure-style experiment), plus
@@ -8,9 +8,12 @@ package mpic
 // the full-size versions that EXPERIMENTS.md records.
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
+
+	"mpic"
 
 	"mpic/internal/adversary"
 	"mpic/internal/core"
@@ -78,11 +81,11 @@ func BenchmarkFigCollisionAttack(b *testing.B) { benchExperiment(b, "collision-a
 // BenchmarkSchemeEndToEnd times one complete coded simulation per scheme
 // on a moderately sized network, reporting the communication blowup.
 func BenchmarkSchemeEndToEnd(b *testing.B) {
-	for _, s := range []Scheme{Algorithm1, AlgorithmA, AlgorithmB, AlgorithmC} {
+	for _, s := range []mpic.Scheme{mpic.Algorithm1, mpic.AlgorithmA, mpic.AlgorithmB, mpic.AlgorithmC} {
 		b.Run(s.String(), func(b *testing.B) {
 			var blowup float64
 			for i := 0; i < b.N; i++ {
-				res, err := Run(Config{
+				res, err := mpic.Run(mpic.Config{
 					Topology: "random", N: 8,
 					Noise: "random", NoiseRate: 0.0005,
 					Scheme: s, Seed: int64(i + 1), IterFactor: 50,
@@ -112,7 +115,7 @@ func BenchmarkScalingNetworkSize(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					res, err := Run(Config{Topology: "line", N: n, Seed: 1, IterFactor: 10, Parallel: parallel})
+					res, err := mpic.Run(mpic.Config{Topology: "line", N: n, Seed: 1, IterFactor: 10, Parallel: parallel})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -123,6 +126,42 @@ func BenchmarkScalingNetworkSize(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkRunnerArena measures back-to-back scenario runs with and
+// without the Runner's buffer arena: the reused variant must allocate
+// measurably less (the per-link block caches are the dominant per-run
+// allocation; see core.Arena).
+func BenchmarkRunnerArena(b *testing.B) {
+	sc := mpic.Scenario{
+		Topology:   mpic.Clique(6),
+		Workload:   mpic.RandomTraffic(120),
+		Scheme:     mpic.AlgorithmA,
+		Seed:       1,
+		IterFactor: 10,
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mpic.RunScenario(context.Background(), sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("runner", func(b *testing.B) {
+		runner := mpic.NewRunner()
+		defer runner.Close()
+		if _, err := runner.Run(context.Background(), sc); err != nil {
+			b.Fatal(err) // warm the arena outside the timed loop
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.Run(context.Background(), sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMicroInnerProductHash measures one τ=8 hash over a 4096-bit

@@ -19,16 +19,25 @@
 // non-zero if any experiment regressed by more than 10% (beyond a small
 // absolute guard against timer noise on sub-25ms experiments). Artefacts
 // produced before wall-clock stamping existed compare as "n/a".
+//
+// The -sweep flag switches the command to a Runner.Sweep grid instead of
+// the named experiments: a cartesian product over party counts, schemes
+// and noise rates, printed as one markdown table. Example:
+//
+//	mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B -sweep-rates 0,0.002 -trials 2
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
+	"mpic"
 	"mpic/internal/experiments"
 )
 
@@ -48,9 +57,42 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "smaller sizes and trial counts")
 		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR2.json)")
 		compare  = fs.String("compare", "", "prior JSON artefact to compare against (e.g. BENCH_PR1.json); exits non-zero on >10% wall-clock regression")
+
+		doSweep    = fs.Bool("sweep", false, "run a Runner.Sweep grid instead of the named experiments")
+		swTopology = fs.String("sweep-topology", "", "sweep: topology family ("+strings.Join(mpic.TopologyNames(), "|")+"; default: the workload's)")
+		swWorkload = fs.String("sweep-workload", "random", "sweep: workload family ("+strings.Join(mpic.WorkloadNames(), "|")+")")
+		swRounds   = fs.Int("sweep-rounds", 0, "sweep: workload rounds (0 = default)")
+		swNoise    = fs.String("sweep-noise", "random", "sweep: noise family ("+strings.Join(mpic.NoiseNames(), "|")+")")
+		swN        = fs.String("sweep-n", "4,6", "sweep: comma-separated party counts")
+		swSchemes  = fs.String("sweep-schemes", "A", "sweep: comma-separated schemes (1|A|B|C)")
+		swRates    = fs.String("sweep-rates", "0.001", "sweep: comma-separated noise rates")
+		swIters    = fs.Int("sweep-iterfactor", 30, "sweep: iteration budget multiplier")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *doSweep {
+		ratesSet := false
+		var flagErr error
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "sweep-rates":
+				ratesSet = true
+			case "json", "compare", "experiment", "quick":
+				// Dropping these silently would un-gate CI jobs modeled on
+				// `make compare` (or leave a -quick grid running at full
+				// cost); reject the combination loudly instead.
+				flagErr = fmt.Errorf("-%s is not supported in -sweep mode", fl.Name)
+			}
+		})
+		if flagErr != nil {
+			return flagErr
+		}
+		return runSweep(os.Stdout, sweepFlags{
+			topology: *swTopology, workload: *swWorkload, rounds: *swRounds,
+			noise: *swNoise, n: *swN, schemes: *swSchemes, rates: *swRates,
+			iterFactor: *swIters, trials: *trials, seed: *seed, ratesSet: ratesSet,
+		})
 	}
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
 	var tables []*experiments.Table
@@ -151,4 +193,113 @@ func compareAgainst(w io.Writer, path string, tables []*experiments.Table) error
 		return fmt.Errorf("experiments in %s not produced by this run: %s", path, strings.Join(missing, ", "))
 	}
 	return nil
+}
+
+// sweepFlags carries the -sweep-* flag values.
+type sweepFlags struct {
+	topology, workload, noise string
+	n, schemes, rates         string
+	rounds, iterFactor        int
+	trials                    int
+	seed                      int64
+	// ratesSet records whether -sweep-rates was given explicitly, so a
+	// rate axis that would silently vanish (noise "none") errors instead.
+	ratesSet bool
+}
+
+// runSweep executes the cartesian grid through mpic.Runner.Sweep and
+// prints one markdown table.
+func runSweep(w io.Writer, f sweepFlags) error {
+	ns, err := parseInts(f.n)
+	if err != nil {
+		return fmt.Errorf("-sweep-n: %w", err)
+	}
+	rates, err := parseFloats(f.rates)
+	if err != nil {
+		return fmt.Errorf("-sweep-rates: %w", err)
+	}
+	var schemes []mpic.Scheme
+	for _, s := range strings.Split(f.schemes, ",") {
+		sch, err := mpic.ParseScheme(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("-sweep-schemes: %w", err)
+		}
+		schemes = append(schemes, sch)
+	}
+	// Parse the names exactly like mpicsim does — through the legacy
+	// Config shim — so an empty -sweep-topology resolves to the
+	// workload's own default (fixed-topology workloads included).
+	base, err := mpic.Config{
+		Topology: f.topology,
+		N:        ns[0],
+		Workload: f.workload, WorkloadRounds: f.rounds,
+		Noise:      f.noise,
+		Seed:       f.seed,
+		IterFactor: f.iterFactor,
+	}.Scenario()
+	if err != nil {
+		return err
+	}
+	if base.Noise == nil && f.ratesSet {
+		return fmt.Errorf("-sweep-rates has no effect with -sweep-noise %q; pick a noise model to sweep rates over", f.noise)
+	}
+	sw := mpic.Sweep{
+		Base:     base,
+		N:        ns,
+		Schemes:  schemes,
+		Trials:   f.trials,
+		SeedStep: 7907,
+	}
+	if base.Noise != nil {
+		sw.Rates = rates
+	}
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	cells, err := runner.Sweep(context.Background(), sw)
+	if err != nil {
+		return err
+	}
+	t := &experiments.Table{
+		ID:    "SWEEP",
+		Title: fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.workload, base.Topology.Name, f.noise),
+		Header: []string{"n", "scheme", "noise rate", "success", "mean blowup",
+			"mean iterations", "corruptions"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c.N),
+			c.Scheme.String(),
+			fmt.Sprintf("%g", c.Rate),
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			fmt.Sprintf("%.1f", c.MeanBlowup()),
+			fmt.Sprintf("%.0f", c.MeanIterations()),
+			fmt.Sprint(c.Corruptions),
+		})
+	}
+	fmt.Fprintln(w, t.Markdown())
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -115,6 +115,40 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunSweepGrid(t *testing.T) {
+	if err := run([]string{"-sweep", "-sweep-n", "4", "-sweep-schemes", "A",
+		"-sweep-rates", "0,0.001", "-trials", "1", "-sweep-iterfactor", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// An explicit rate axis with no noise model to apply it to must fail
+	// instead of printing a table whose rate column silently reads 0.
+	if err := run([]string{"-sweep", "-sweep-noise", "none", "-sweep-rates", "0.001"}); err == nil {
+		t.Error("-sweep-rates with -sweep-noise none accepted")
+	}
+	// Noise "none" without an explicit rate axis is a plain noiseless grid.
+	if err := run([]string{"-sweep", "-sweep-noise", "none", "-sweep-n", "4",
+		"-trials", "1", "-sweep-iterfactor", "10"}); err != nil {
+		t.Fatalf("noiseless sweep: %v", err)
+	}
+	// A fixed-topology workload with the default (empty) -sweep-topology
+	// resolves to its own family, exactly like mpicsim.
+	if err := run([]string{"-sweep", "-sweep-workload", "token-ring", "-sweep-n", "4,5",
+		"-trials", "1", "-sweep-iterfactor", "10"}); err != nil {
+		t.Fatalf("token-ring sweep with default topology: %v", err)
+	}
+	if err := run([]string{"-sweep", "-sweep-schemes", "Z"}); err == nil {
+		t.Error("bad sweep scheme accepted")
+	}
+	// The experiment-mode artefact flags have no meaning on a sweep grid;
+	// combining them must fail rather than silently skip the gate.
+	if err := run([]string{"-sweep", "-json", "x.json"}); err == nil {
+		t.Error("-json in sweep mode accepted")
+	}
+	if err := run([]string{"-sweep", "-compare", "x.json"}); err == nil {
+		t.Error("-compare in sweep mode accepted")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")

@@ -2,16 +2,22 @@
 // outcome: which scheme, over which topology and workload, under which
 // adversary, and whether every party decoded the correct output.
 //
+// The string flags are parsed through the library's open registries, so
+// externally registered topologies, workloads, and noise models work
+// here too; the run itself goes through mpic.Runner.
+//
 // Example:
 //
 //	mpicsim -topology line -n 6 -scheme A -noise random -rate 0.002
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mpic"
 	"mpic/internal/trace"
@@ -27,25 +33,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mpicsim", flag.ContinueOnError)
 	var (
-		topology = fs.String("topology", "line", "topology: line|ring|star|clique|tree|random")
+		topology = fs.String("topology", "", "topology: "+strings.Join(mpic.TopologyNames(), "|")+" (default: the workload's)")
 		n        = fs.Int("n", 6, "number of parties")
-		workload = fs.String("workload", "random", "workload: random|dense|phase-king|pipelined-line|tree-sum|token-ring")
+		workload = fs.String("workload", "random", "workload: "+strings.Join(mpic.WorkloadNames(), "|"))
 		rounds   = fs.Int("rounds", 0, "workload rounds (0 = default)")
 		scheme   = fs.String("scheme", "A", "coding scheme: 1|A|B|C")
-		noise    = fs.String("noise", "none", "noise: none|random|burst|adaptive")
+		noise    = fs.String("noise", "none", "noise: "+strings.Join(mpic.NoiseNames(), "|"))
 		rate     = fs.Float64("rate", 0, "noise rate (fraction of total communication)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		iters    = fs.Int("iterfactor", 100, "iteration budget multiplier (paper: 100)")
 		faithful = fs.Bool("faithful", false, "run all iterations (no early stop)")
 		parallel = fs.Bool("parallel", false, "use the concurrent network executor")
 		increm   = fs.Bool("incremental-hash", false, "checkpointed prefix hashing: per-iteration hash cost tracks transcript growth, not length")
+		observe  = fs.Bool("observe", false, "stream per-iteration progress to stderr (an mpic.Observer sink)")
 		asJSON   = fs.Bool("json", false, "print the result as JSON")
 		doTrace  = fs.Bool("trace", false, "print the per-iteration potential trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sch, err := parseScheme(*scheme)
+	sch, err := mpic.ParseScheme(*scheme)
 	if err != nil {
 		return err
 	}
@@ -63,14 +70,23 @@ func run(args []string) error {
 		Parallel:        *parallel,
 		IncrementalHash: *increm,
 	}
-	res, err := mpic.Run(cfg)
+	sc, err := cfg.Scenario()
+	if err != nil {
+		return err
+	}
+	if *observe {
+		sc.Observers = append(sc.Observers, mpic.NewIterationLog(os.Stderr))
+	}
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	res, err := runner.Run(context.Background(), sc)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		return printJSON(res)
 	}
-	printHuman(cfg, res)
+	printHuman(sc, res)
 	if *doTrace {
 		printTrace(res)
 	}
@@ -91,28 +107,17 @@ func printTrace(res *mpic.Result) {
 	}
 }
 
-func parseScheme(s string) (mpic.Scheme, error) {
-	switch s {
-	case "1":
-		return mpic.Algorithm1, nil
-	case "A", "a":
-		return mpic.AlgorithmA, nil
-	case "B", "b":
-		return mpic.AlgorithmB, nil
-	case "C", "c":
-		return mpic.AlgorithmC, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (want 1, A, B, or C)", s)
-	}
-}
-
-func printHuman(cfg mpic.Config, res *mpic.Result) {
+func printHuman(sc mpic.Scenario, res *mpic.Result) {
 	status := "SUCCESS"
 	if !res.Success {
 		status = fmt.Sprintf("FAILURE (%d parties wrong)", res.WrongParties)
 	}
+	workload := sc.Workload.Name
+	if workload == "" {
+		workload = "random"
+	}
 	fmt.Printf("%s — %s over %s(n=%d), workload %s\n",
-		status, cfg.Scheme, cfg.Topology, cfg.N, cfg.Workload)
+		status, sc.Scheme, sc.Topology.Name, sc.Topology.N, workload)
 	fmt.Printf("  protocol:       %d chunks, CC(Π) = %d bits\n", res.NumChunks, res.CCProtocol)
 	fmt.Printf("  simulation:     %d iterations, %d rounds, G* = %d chunks\n",
 		res.Iterations, res.Metrics.Rounds, res.GStar)

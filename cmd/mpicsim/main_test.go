@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"mpic"
+)
 
 func TestRunBasic(t *testing.T) {
 	err := run([]string{"-topology", "line", "-n", "4", "-scheme", "A",
@@ -25,6 +29,17 @@ func TestRunNoisy(t *testing.T) {
 	}
 }
 
+// Fixed-topology workloads pick their own topology when -topology is
+// left at its "" default, and reject a conflicting explicit one.
+func TestRunFixedTopologyWorkload(t *testing.T) {
+	if err := run([]string{"-workload", "token-ring", "-n", "5", "-iterfactor", "20", "-seed", "5"}); err != nil {
+		t.Fatalf("token-ring with default topology: %v", err)
+	}
+	if err := run([]string{"-workload", "token-ring", "-topology", "line", "-n", "5"}); err == nil {
+		t.Error("conflicting explicit topology accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-scheme", "Z"}); err == nil {
 		t.Error("bad scheme accepted")
@@ -39,11 +54,11 @@ func TestRunErrors(t *testing.T) {
 
 func TestParseScheme(t *testing.T) {
 	for _, s := range []string{"1", "A", "a", "B", "b", "C", "c"} {
-		if _, err := parseScheme(s); err != nil {
-			t.Errorf("parseScheme(%q): %v", s, err)
+		if _, err := mpic.ParseScheme(s); err != nil {
+			t.Errorf("ParseScheme(%q): %v", s, err)
 		}
 	}
-	if _, err := parseScheme("D"); err == nil {
-		t.Error("parseScheme accepted D")
+	if _, err := mpic.ParseScheme("D"); err == nil {
+		t.Error("ParseScheme accepted D")
 	}
 }

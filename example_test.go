@@ -1,10 +1,65 @@
 package mpic_test
 
 import (
+	"context"
 	"fmt"
 
 	"mpic"
 )
+
+// The primary entry point: a typed Scenario executed by a Runner. The
+// Runner can be reused — it keeps per-link hash buffers warm across runs
+// — and honors context cancellation.
+func ExampleRunner_Run() {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	res, err := runner.Run(context.Background(), mpic.Scenario{
+		Topology: mpic.Ring(5),
+		Workload: mpic.RandomTraffic(60),
+		Scheme:   mpic.AlgorithmA,
+		Noise:    mpic.RandomNoise(0.001),
+		Seed:     1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("success:", res.Success)
+	// Output:
+	// success: true
+}
+
+// Runner.Sweep batches a cartesian grid — here party counts × noise
+// rates — and aggregates per-cell statistics.
+func ExampleRunner_Sweep() {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	cells, err := runner.Sweep(context.Background(), mpic.Sweep{
+		Base: mpic.Scenario{
+			Topology:   mpic.Line(4),
+			Workload:   mpic.RandomTraffic(40),
+			Noise:      mpic.RandomNoise(0),
+			Seed:       2,
+			IterFactor: 15,
+		},
+		N:      []int{4, 5},
+		Rates:  []float64{0, 0.001},
+		Trials: 2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	noiseless := 0
+	for _, c := range cells {
+		if c.Rate == 0 && c.Successes == c.Trials {
+			noiseless++
+		}
+	}
+	fmt.Printf("cells: %d, noiseless cells fully successful: %d\n", len(cells), noiseless)
+	// Output:
+	// cells: 4, noiseless cells fully successful: 2
+}
 
 // The simplest use: protect a built-in workload over a noisy line with
 // Algorithm A and check the run against the noiseless reference.

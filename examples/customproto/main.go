@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -112,11 +113,15 @@ func main() {
 	proto := newMaxFinder(n, inputs)
 
 	// Star topologies are the JKL15 setting; run the custom protocol
-	// through Algorithm A under random insertion/deletion noise.
-	params := mpic.ParamsFor(mpic.AlgorithmA, proto.Graph())
-	params.CRSKey = 5
-
-	res, err := mpic.RunProtocol(proto, params, noise{}, false)
+	// through Algorithm A under the hand-rolled deletion noise. A
+	// UseProtocol workload brings its own topology, so the scenario
+	// leaves Topology empty.
+	res, err := mpic.RunScenario(context.Background(), mpic.Scenario{
+		Workload: mpic.UseProtocol(proto),
+		Scheme:   mpic.AlgorithmA,
+		Noise:    mpic.CustomNoise("every-400th", noise{}),
+		Seed:     5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

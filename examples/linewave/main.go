@@ -1,10 +1,11 @@
 // Linewave reenacts the paper's Section 1.2 motivating story on the line
 // topology: party 0 relays a bit down the line and the far-end parties
 // chatter expensively. A single deletion near party 0 silently poisons
-// everything downstream; the per-iteration potential trace shows the
-// meeting points catching the divergence, the idle flag freezing the
-// network, and the rewind wave restoring consistency — all within a
-// couple of iterations, independent of the line length.
+// everything downstream; a live Observer attached to the scenario
+// narrates the recovery as it happens — the meeting points catching the
+// divergence, the idle flag freezing the network, and the rewind wave
+// restoring consistency — all within a couple of iterations, independent
+// of the line length.
 //
 // Run with:
 //
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,35 +21,38 @@ import (
 )
 
 func main() {
+	runner := mpic.NewRunner()
+	defer runner.Close()
 	for _, n := range []int{5, 8, 11} {
-		cfg := mpic.Config{
-			N:              n,
-			Workload:       "pipelined-line",
-			WorkloadRounds: 12 * n,
-			Scheme:         mpic.AlgorithmA,
-			Noise:          "burst", // one link takes all the damage
-			NoiseRate:      0.001,
-			Seed:           1,
-		}
-		res, err := mpic.Run(cfg)
+		// Narrate the recovery live from the oracle's potential snapshots.
+		prevB := 0
+		narrator := mpic.ObserverFunc(func(st mpic.IterationStats) {
+			if st.Snapshot == nil {
+				return
+			}
+			switch {
+			case st.Snapshot.BStar > 0 && prevB == 0:
+				fmt.Printf("   iter %3d: divergence appears (B*=%d, %d links in meeting points)\n",
+					st.Iteration, st.Snapshot.BStar, st.Snapshot.MeetingLinks)
+			case st.Snapshot.BStar == 0 && prevB > 0:
+				fmt.Printf("   iter %3d: network re-synchronized (G*=%d)\n",
+					st.Iteration, st.Snapshot.GStar)
+			}
+			prevB = st.Snapshot.BStar
+		})
+		res, err := runner.Run(context.Background(), mpic.Scenario{
+			Topology:  mpic.Line(n),
+			Workload:  mpic.PipelinedLine(12 * n),
+			Scheme:    mpic.AlgorithmA,
+			Noise:     mpic.BurstNoise(0.001), // one link takes all the damage
+			Seed:      1,
+			Observers: []mpic.Observer{narrator},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("line n=%2d: success=%v chunks=%d iterations=%d (ideal %d) corruptions=%d\n",
 			n, res.Success, res.NumChunks, res.Iterations, res.NumChunks,
 			res.Metrics.TotalCorruptions())
-		// Narrate the recovery using the oracle's potential snapshots.
-		prevB := 0
-		for _, snap := range res.Potential {
-			switch {
-			case snap.BStar > 0 && prevB == 0:
-				fmt.Printf("   iter %3d: divergence appears (B*=%d, %d links in meeting points)\n",
-					snap.Iteration, snap.BStar, snap.MeetingLinks)
-			case snap.BStar == 0 && prevB > 0:
-				fmt.Printf("   iter %3d: network re-synchronized (G*=%d)\n",
-					snap.Iteration, snap.GStar)
-			}
-			prevB = snap.BStar
-		}
 	}
 }

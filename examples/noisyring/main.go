@@ -6,7 +6,8 @@
 // arrives intact, at the cost of a few extra iterations.
 //
 // Both systems face the *same* adversary: delete the first 9 payload
-// bits on link 2→3.
+// bits on link 2→3. The coded run goes through a Scenario with a
+// CustomNoise spec wrapping the hand-rolled adversary.
 //
 // Run with:
 //
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,23 +24,21 @@ import (
 
 func main() {
 	const n = 8
-	g, err := mpic.NewTopology("ring", n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	proto, err := mpic.NewWorkload("token-ring", g, 64 /* 8 laps */, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
 	const deletions = 9
 
-	params := mpic.ParamsFor(mpic.AlgorithmA, g)
-	params.CRSKey = 3
+	runner := mpic.NewRunner()
+	defer runner.Close()
 	// Skip the randomness-exchange preamble so the salvo lands on real
 	// simulation payload (the exchange's error-correcting code would
 	// otherwise absorb it for free).
 	codedAdv := mpic.NewFixedDeletions(2, 3, 496, deletions)
-	coded, err := mpic.RunProtocol(proto, params, codedAdv, false)
+	coded, err := runner.Run(context.Background(), mpic.Scenario{
+		Topology: mpic.Ring(n),
+		Workload: mpic.TokenRing(64 /* 8 laps */),
+		Scheme:   mpic.AlgorithmA,
+		Noise:    mpic.CustomNoise("fixed-deletions", codedAdv),
+		Seed:     3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,6 +46,16 @@ func main() {
 	fmt.Printf("  Algorithm A:        success=%v (%d corruptions landed, %d iterations, blowup %.1fx)\n",
 		coded.Success, coded.Metrics.TotalCorruptions(), coded.Iterations, coded.Blowup)
 
+	// The baselines run the same pre-built workload under fresh copies of
+	// the same attack.
+	g, err := mpic.NewTopology("ring", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proto, err := mpic.NewWorkload("token-ring", g, 64, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fec, err := mpic.RunNaiveFECProtocol(proto, mpic.NewFixedDeletions(2, 3, 0, deletions), 3)
 	if err != nil {
 		log.Fatal(err)

@@ -1,12 +1,20 @@
 // Quickstart: simulate a generic protocol over a noisy 6-party line with
 // Algorithm A and check that every party still computes the right output.
 //
+// A run is described by a typed Scenario — topology, workload, scheme,
+// noise — and executed by a Runner (which can be reused across runs and
+// cancelled through its context). The legacy string-keyed equivalent is
+//
+//	mpic.Run(mpic.Config{Topology: "line", N: 6, Workload: "random",
+//	    Scheme: mpic.AlgorithmA, Noise: "random", NoiseRate: 0.002, Seed: 42})
+//
 // Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,14 +22,14 @@ import (
 )
 
 func main() {
-	res, err := mpic.Run(mpic.Config{
-		Topology:  "line",
-		N:         6,
-		Workload:  "random",
-		Scheme:    mpic.AlgorithmA,
-		Noise:     "random",
-		NoiseRate: 0.002, // ≈ ε/m worth of insertions/deletions/flips
-		Seed:      42,
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	res, err := runner.Run(context.Background(), mpic.Scenario{
+		Topology: mpic.Line(6),
+		Workload: mpic.RandomTraffic(0), // 0 rounds = the 30·n default
+		Scheme:   mpic.AlgorithmA,
+		Noise:    mpic.RandomNoise(0.002), // ≈ ε/m worth of insertions/deletions/flips
+		Seed:     42,
 	})
 	if err != nil {
 		log.Fatal(err)

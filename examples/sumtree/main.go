@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,17 +18,15 @@ import (
 )
 
 func main() {
-	coded := mpic.Config{
-		Topology:       "tree",
-		N:              7,
-		Workload:       "tree-sum",
-		WorkloadRounds: 150,
-		Scheme:         mpic.AlgorithmB,
-		Noise:          "adaptive",
-		NoiseRate:      0.0008, // ≈ ε/(m log m)
-		Seed:           7,
-	}
-	res, err := mpic.Run(coded)
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	res, err := runner.Run(context.Background(), mpic.Scenario{
+		Topology: mpic.Tree(7),
+		Workload: mpic.TreeSum(150),
+		Scheme:   mpic.AlgorithmB,
+		Noise:    mpic.Adaptive(0.0008), // ≈ ε/(m log m)
+		Seed:     7,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

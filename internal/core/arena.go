@@ -1,0 +1,42 @@
+package core
+
+import "mpic/internal/hashing"
+
+// Arena recycles the per-link hash state buffers across runs. One run of
+// a scheme allocates three seed block caches per link endpoint — the two
+// prefix blocks alone are seedHint·τ words each — and drops them all at
+// the end; a driver executing many runs (Runner.Sweep, the experiment
+// harness) pays that allocation churn for every cell. Passing the same
+// Arena through Options.Arena makes each run draw its block buffers from
+// the previous runs' and hand them back on exit, so steady-state sweeps
+// stop allocating in the seed-materialization path (the ROADMAP's
+// "amortize seed materialization across links").
+//
+// An Arena is safe for concurrent use by multiple runs; results are
+// bit-identical with and without one (recycled buffers are fully
+// re-materialized before any read). The incremental-hash path
+// (Params.IncrementalHash) keeps its checkpointed stores private to the
+// run and does not draw from the arena.
+type Arena struct {
+	pool hashing.BufferPool
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset drops all pooled memory.
+func (a *Arena) Reset() {
+	if a != nil {
+		a.pool.Reset()
+	}
+}
+
+// release hands a party's per-link hash buffers back to the arena.
+func (a *Arena) release(p *party) {
+	for _, ls := range p.links {
+		ls.ck.Release(&a.pool)
+		ls.c1.Release(&a.pool)
+		ls.c2.Release(&a.pool)
+		ls.ck, ls.c1, ls.c2 = nil, nil, nil
+	}
+}

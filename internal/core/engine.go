@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -48,11 +49,17 @@ type Options struct {
 	WhiteBoxRate float64
 	// Parallel enables the concurrent send executor.
 	Parallel bool
-	// testAfterIter, when set by in-package tests, is called after every
-	// executed iteration with the live parties — the hook whitebox
-	// invariant checks (e.g. incremental-vs-reference hash agreement
-	// under rewind-heavy noise) attach to.
-	testAfterIter func(it int, parties []*party)
+	// Observers receive per-iteration callbacks (and, when they implement
+	// the optional extensions, run start/end callbacks). Observers watch;
+	// they cannot influence the run.
+	Observers []Observer
+	// Context, if non-nil, cancels the run between iterations: Run
+	// returns ctx.Err() and no Result. Cancellation granularity is one
+	// iteration — a round in flight always completes.
+	Context context.Context
+	// Arena, if non-nil, supplies recycled per-link hash buffers and gets
+	// them back when the run ends (see Arena).
+	Arena *Arena
 }
 
 // WhiteBoxStats reports the collision attacker's bookkeeping.
@@ -128,6 +135,7 @@ func Run(opts Options) (*Result, error) {
 		proto:     opts.Protocol,
 		chunking:  chunking,
 		tree:      g.BFSTree(0),
+		arena:     opts.Arena,
 		numChunks: numChunks,
 		crsK0:     uint64(p.CRSKey)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b,
 		crsK1:     uint64(p.CRSKey)*0xda942042e4dd58b5 + 0xd1342543de82ef95,
@@ -181,10 +189,15 @@ func Run(opts Options) (*Result, error) {
 		coreParties[i] = cp
 		parties[i] = cp
 	}
+	if opts.Arena != nil {
+		defer func() {
+			for _, cp := range coreParties {
+				opts.Arena.release(cp)
+			}
+		}()
+	}
 
-	metrics := &trace.Metrics{}
-	adv := opts.Adversary
-	if opts.AdversaryFactory != nil {
+	makeInfo := func() RunInfo {
 		info := RunInfo{
 			ExchangeRounds: lay.exchangeRounds,
 			TotalRounds:    lay.totalRounds(),
@@ -200,7 +213,13 @@ func Run(opts Options) (*Result, error) {
 				channel.Link{From: edge.V, To: edge.U})
 		}
 		info.Links = links
-		adv = opts.AdversaryFactory(info)
+		return info
+	}
+
+	metrics := &trace.Metrics{}
+	adv := opts.Adversary
+	if opts.AdversaryFactory != nil {
+		adv = opts.AdversaryFactory(makeInfo())
 	}
 	var whitebox *whiteBoxAttacker
 	if opts.WhiteBoxRate > 0 {
@@ -235,23 +254,35 @@ func Run(opts Options) (*Result, error) {
 		NumChunks:  numChunks,
 	}
 
+	for _, o := range opts.Observers {
+		if so, ok := o.(RunStartObserver); ok {
+			so.RunStarted(makeInfo())
+		}
+	}
+	if err := cancelled(opts.Context); err != nil {
+		return nil, err
+	}
+
 	eng.RunRounds(0, lay.exchangeRounds)
 	oracle := newOracle(e, coreParties, metrics)
 	executed := 0
 	for it := 0; it < iters; it++ {
+		if err := cancelled(opts.Context); err != nil {
+			return nil, err
+		}
 		start := lay.iterStart(it)
 		eng.RunRounds(start, start+lay.iterRounds())
 		executed++
 		metrics.Iterations = executed
-		if opts.testAfterIter != nil {
-			opts.testAfterIter(it, coreParties)
-		}
+		var snap *potential.Snapshot
 		if p.Oracle {
-			snap := oracle.observe(it)
-			res.Potential = append(res.Potential, snap)
-			if p.EarlyStop && oracle.done() {
-				break
-			}
+			s := oracle.observe(it)
+			res.Potential = append(res.Potential, s)
+			snap = &res.Potential[len(res.Potential)-1]
+		}
+		notifyIteration(opts.Observers, IterationStats{Iteration: it, Metrics: metrics, Snapshot: snap}, coreParties)
+		if p.Oracle && p.EarlyStop && oracle.done() {
+			break
 		}
 	}
 	res.Iterations = executed
@@ -279,7 +310,26 @@ func Run(opts Options) (*Result, error) {
 	if whitebox != nil {
 		res.WhiteBox = &WhiteBoxStats{Tried: whitebox.Tried, Landed: whitebox.Landed}
 	}
+	for _, o := range opts.Observers {
+		if eo, ok := o.(RunEndObserver); ok {
+			eo.RunDone(res)
+		}
+	}
 	return res, nil
+}
+
+// cancelled reports a context's cancellation as its error, tolerating a
+// nil context.
+func cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // oracle is engine-side ground-truth instrumentation. It never feeds

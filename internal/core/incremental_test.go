@@ -11,6 +11,15 @@ import (
 	"mpic/internal/protocol"
 )
 
+// inspectFunc adapts a function to the in-package party-inspection
+// observer hook (the successor of the removed testAfterIter field): it is
+// a no-op public Observer whose inspectParties extension receives the
+// live parties after every iteration.
+type inspectFunc func(it int, parties []*party)
+
+func (inspectFunc) IterationDone(IterationStats)              {}
+func (f inspectFunc) inspectParties(it int, parties []*party) { f(it, parties) }
+
 // testEnvIncremental mirrors testEnv with the incremental prefix-hash
 // path enabled.
 func testEnvIncremental(t *testing.T, g *graph.Graph) *env {
@@ -212,7 +221,7 @@ func TestRewindHammerSchemes(t *testing.T) {
 				hammer = adversary.NewRewindHammer(info.Links, info.PhaseOracle, 3, 0.01, 3, 5)
 				return hammer
 			},
-			testAfterIter: func(it int, parties []*party) {
+			Observers: []Observer{inspectFunc(func(it int, parties []*party) {
 				for _, p := range parties {
 					for _, ls := range p.links {
 						key := [2]graph.Node{p.id, ls.peer}
@@ -238,7 +247,7 @@ func TestRewindHammerSchemes(t *testing.T) {
 						}
 					}
 				}
-			},
+			})},
 		}
 		res, err := Run(opts)
 		if err != nil {

@@ -27,6 +27,8 @@ type env struct {
 	codec     *ecc.BitCodec
 	crsK0     uint64
 	crsK1     uint64
+	// arena, when non-nil, recycles the block-cache buffers across runs.
+	arena *Arena
 	// seedHintWords pre-sizes the per-link prefix-hash seed caches: the
 	// row-prefix length (in words) a run's transcripts are expected to
 	// reach, derived from the chunking when the layout is built.
@@ -234,14 +236,18 @@ func (p *party) initSeeds() {
 // at construction.
 func (e *env) bindSource(ls *linkState, src hashing.SeedSource) {
 	ls.src = src
-	ls.ck = hashing.NewBlockCache(e.hash, src, 1)
+	var pool *hashing.BufferPool
+	if e.arena != nil {
+		pool = &e.arena.pool
+	}
+	ls.ck = hashing.NewBlockCacheIn(pool, e.hash, src, 1)
 	if e.params.IncrementalHash {
 		bits := ls.T.Bits()
 		ls.p1 = hashing.NewCheckpointed(e.hash, src, e.seedLay.StableOffset(hashing.SlotMP1), bits, e.seedHintWords, 0)
 		ls.p2 = hashing.NewCheckpointed(e.hash, src, e.seedLay.StableOffset(hashing.SlotMP2), bits, e.seedHintWords, 0)
 	} else {
-		ls.c1 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
-		ls.c2 = hashing.NewBlockCache(e.hash, src, e.seedHintWords)
+		ls.c1 = hashing.NewBlockCacheIn(pool, e.hash, src, e.seedHintWords)
+		ls.c2 = hashing.NewBlockCacheIn(pool, e.hash, src, e.seedHintWords)
 	}
 	ls.h = hasher{env: e, ls: ls}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"mpic"
 	"mpic/internal/core"
 	"mpic/internal/graph"
 	"mpic/internal/stats"
@@ -24,45 +25,25 @@ func CollisionAttack(cfg Config) (*Table, error) {
 			"hit rate", "success", "mean blowup"},
 	}
 	for _, tau := range []int{2, 4, 8, 16} {
-		var tried, landed int
-		succ := 0
-		var blowups []float64
-		trials := cfg.trials()
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + int64(trial)*7907
-			proto := workload(g, seed, cfg.Quick)
-			params := core.ParamsFor(core.Alg1, g)
-			params.CRSKey = seed
-			params.HashBits = tau
-			params.IterFactor = iterBudget(cfg)
-			res, err := core.Run(core.Options{
-				Protocol:     proto,
-				Params:       params,
-				WhiteBoxRate: 0.02,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Success {
-				succ++
-			}
-			blowups = append(blowups, res.Blowup)
-			if res.WhiteBox != nil {
-				tried += res.WhiteBox.Tried
-				landed += res.WhiteBox.Landed
-			}
+		tau := tau
+		base := cellScenario(core.Alg1, g, nil, cfg, iterBudget(cfg))
+		base.WhiteBoxRate = 0.02
+		base.Tune = func(p *mpic.Params) { p.HashBits = tau }
+		c, err := sweepCell(base, cfg)
+		if err != nil {
+			return nil, err
 		}
 		rate := 0.0
-		if tried > 0 {
-			rate = float64(landed) / float64(tried)
+		if c.WhiteBox.Tried > 0 {
+			rate = float64(c.WhiteBox.Landed) / float64(c.WhiteBox.Tried)
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(tau),
-			fmt.Sprint(tried),
-			fmt.Sprint(landed),
+			fmt.Sprint(c.WhiteBox.Tried),
+			fmt.Sprint(c.WhiteBox.Landed),
 			fmt.Sprintf("%.4f (2^-τ = %.4f)", rate, pow2neg(tau)),
-			fmt.Sprintf("%d/%d", succ, trials),
-			fmt.Sprintf("%.1f", stats.Summarize(blowups).Mean),
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
 		})
 	}
 	t.Notes = append(t.Notes,

@@ -3,13 +3,20 @@
 // figure-style experiments validating Theorems 1.1/1.2 and the key lemmas
 // (potential growth, hash-collision bounds, rewind-wave latency,
 // δ-biased seeding, randomness-exchange protection).
+//
+// Every coded run goes through the public Scenario/Runner API: a single
+// package-wide mpic.Runner executes the cells, so successive tables reuse
+// the per-link hash buffers, and each measured cell is an mpic.Sweep grid
+// point — the same code path external users batch experiments with.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
+	"mpic"
 	"mpic/internal/adversary"
 	"mpic/internal/channel"
 	"mpic/internal/core"
@@ -39,6 +46,13 @@ func (c Config) trials() int {
 	}
 	return c.Trials
 }
+
+// sharedRunner executes every experiment cell; one arena for the whole
+// package amortizes per-run seed materialization across tables.
+var sharedRunner = mpic.NewRunner()
+
+// trialSeedStep is the historical per-trial seed stride of the harness.
+const trialSeedStep = 7907
 
 // Table is a formatted experiment result.
 type Table struct {
@@ -76,31 +90,38 @@ func (t *Table) Markdown() string {
 // Random protocol over the given topology with enough rounds to yield a
 // meaningful number of chunks.
 func workload(g *graph.Graph, seed int64, quick bool) protocol.Protocol {
-	rounds := 40 * g.N()
-	if quick {
-		rounds = 12 * g.N()
-	}
+	rounds := workloadRounds(g.N(), quick)
 	return protocol.NewRandom(g, rounds, 0.5, seed, nil)
 }
 
-// noiseFor builds the adversary for a scheme/noise pairing. rate is the
-// corruption budget as a fraction of CC.
-func noiseFor(kind string, rate float64, links []channel.Link, rng *rand.Rand) (adversary.Adversary, func(info core.RunInfo) adversary.Adversary) {
-	switch kind {
-	case "none", "":
-		return adversary.None{}, nil
-	case "random":
-		return adversary.NewRandomRate(rate, rng), nil
-	case "burst":
-		l := links[rng.Intn(len(links))]
-		return adversary.NewBurst(l, 0, 1<<30, rate), nil
-	case "adaptive":
-		seed := rng.Int63()
-		return nil, func(info core.RunInfo) adversary.Adversary {
-			return adversary.NewAdaptive(info.Links, info.PhaseOracle, 3 /* trace.PhaseSimulation */, rate, rand.New(rand.NewSource(seed)))
-		}
-	default:
-		return adversary.None{}, nil
+func workloadRounds(n int, quick bool) int {
+	if quick {
+		return 12 * n
+	}
+	return 40 * n
+}
+
+// workloadSpec is workload as a scenario spec: the builder receives each
+// trial's seed from the sweep, reproducing the per-trial protocols the
+// harness has always measured.
+func workloadSpec(n int, quick bool) mpic.WorkloadSpec {
+	return mpic.WorkloadSpec{
+		Rounds: workloadRounds(n, quick),
+		Build: func(g *mpic.Graph, rounds int, seed int64) (mpic.Protocol, error) {
+			return protocol.NewRandom(g, rounds, 0.5, seed, nil), nil
+		},
+	}
+}
+
+// cellScenario is the base scenario of a measured cell.
+func cellScenario(scheme core.Scheme, g *graph.Graph, noise mpic.NoiseSpec, cfg Config, iterFactor int) mpic.Scenario {
+	return mpic.Scenario{
+		Topology:   mpic.GraphTopology(g),
+		Workload:   workloadSpec(g.N(), cfg.Quick),
+		Scheme:     scheme,
+		Noise:      noise,
+		Seed:       cfg.Seed,
+		IterFactor: iterFactor,
 	}
 }
 
@@ -115,8 +136,7 @@ func burstOn(u, v graph.Node, schedRounds int, rate float64) adversary.Adversary
 	return adversary.NewBurst(channel.Link{From: u, To: v}, schedRounds, 1<<30, rate)
 }
 
-// runCell executes `trials` runs of a scheme under the given noise and
-// aggregates success and blowup.
+// cell aggregates the trials of one measured grid point.
 type cell struct {
 	Successes   int
 	Trials      int
@@ -126,38 +146,42 @@ type cell struct {
 	Corruptions int64
 }
 
+// fromSweep converts a Runner.Sweep cell into the harness's aggregate.
+func fromSweep(c mpic.SweepCell) cell {
+	return cell{
+		Successes:   c.Successes,
+		Trials:      c.Trials,
+		Blowups:     c.Blowups,
+		Iters:       c.Iterations,
+		Collisions:  c.Collisions,
+		Corruptions: c.Corruptions,
+	}
+}
+
+// sweepCell executes one grid point (Trials seeds of base) through the
+// shared runner and returns the aggregate.
+func sweepCell(base mpic.Scenario, cfg Config) (mpic.SweepCell, error) {
+	cells, err := sharedRunner.Sweep(context.Background(), mpic.Sweep{
+		Base:     base,
+		Trials:   cfg.trials(),
+		SeedStep: trialSeedStep,
+	})
+	if err != nil {
+		return mpic.SweepCell{}, err
+	}
+	return cells[0], nil
+}
+
+// runCell executes `trials` runs of a scheme under the given noise and
+// aggregates success and blowup.
 func runCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float64, cfg Config, iterFactor int) (cell, error) {
-	var out cell
-	trials := cfg.trials()
-	var links []channel.Link
-	for _, e := range g.Edges() {
-		links = append(links, channel.Link{From: e.U, To: e.V}, channel.Link{From: e.V, To: e.U})
+	noise, err := mpic.Noise(noiseKind, rate)
+	if err != nil {
+		return cell{}, err
 	}
-	for trial := 0; trial < trials; trial++ {
-		seed := cfg.Seed + int64(trial)*7907
-		proto := workload(g, seed, cfg.Quick)
-		params := core.ParamsFor(scheme, g)
-		params.CRSKey = seed
-		params.IterFactor = iterFactor
-		rng := rand.New(rand.NewSource(seed * 31))
-		adv, factory := noiseFor(noiseKind, rate, links, rng)
-		res, err := core.Run(core.Options{
-			Protocol:         proto,
-			Params:           params,
-			Adversary:        adv,
-			AdversaryFactory: factory,
-		})
-		if err != nil {
-			return out, err
-		}
-		out.Trials++
-		if res.Success {
-			out.Successes++
-		}
-		out.Blowups = append(out.Blowups, res.Blowup)
-		out.Iters = append(out.Iters, float64(res.Iterations))
-		out.Collisions += res.Metrics.HashCollisions
-		out.Corruptions += res.Metrics.TotalCorruptions()
+	c, err := sweepCell(cellScenario(scheme, g, noise, cfg, iterFactor), cfg)
+	if err != nil {
+		return cell{}, err
 	}
-	return out, nil
+	return fromSweep(c), nil
 }

@@ -1,9 +1,68 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
+
+	"mpic"
+	"mpic/internal/core"
+	"mpic/internal/graph"
+	"mpic/internal/stats"
 )
+
+// TestSweepReproducesExperimentTable is the acceptance check for the
+// Runner.Sweep migration: building the CC-vs-noise grid (E-F3) directly
+// through the public mpic.Sweep API reproduces the table the experiment
+// harness produces, cell for cell.
+func TestSweepReproducesExperimentTable(t *testing.T) {
+	cfg := Config{Trials: 2, Seed: 3, Quick: true}
+	table, err := CCVsNoise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := graph.Line(5)
+	m := float64(g.M())
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	for i, mult := range []float64{0, 0.002, 0.005, 0.01, 0.02} {
+		var noise mpic.NoiseSpec
+		if mult > 0 {
+			noise = mpic.RandomNoise(mult / m)
+		}
+		cells, err := runner.Sweep(context.Background(), mpic.Sweep{
+			Base: mpic.Scenario{
+				Topology:   mpic.GraphTopology(g),
+				Workload:   workloadSpec(g.N(), cfg.Quick),
+				Scheme:     core.AlgA,
+				Noise:      noise,
+				Seed:       cfg.Seed,
+				IterFactor: iterBudget(cfg),
+			},
+			Trials:   cfg.trials(),
+			SeedStep: trialSeedStep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cells[0]
+		want := []string{
+			fmt.Sprintf("%.3f", mult),
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(c.Iterations).Mean),
+			fmt.Sprint(c.Corruptions),
+		}
+		got := table.Rows[i]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("row %d col %d: table %q != direct sweep %q", i, j, got[j], want[j])
+			}
+		}
+	}
+}
 
 // TestRegistryComplete ensures every experiment of DESIGN.md §4 is
 // registered.

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"mpic/internal/core"
+	"mpic"
 	"mpic/internal/graph"
 	"mpic/internal/protocol"
 	"mpic/internal/stats"
@@ -36,28 +36,33 @@ func FullyUtilizedCost(cfg Config) (*Table, error) {
 		sparseBits := ring.Schedule().TotalBits()
 		fuBits := fu.Schedule().TotalBits()
 
+		// Blowups relative to the ORIGINAL sparse protocol: the
+		// fully-utilized conversion's padding is pure overhead, so the fu
+		// cell's CC/CC(fu) blowup is rescaled by CC(fu)/CC(Π).
 		var sparseBlow, fuBlow []float64
-		trials := cfg.trials()
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + int64(trial)*7907
-			for i, proto := range []protocol.Protocol{ring, fu} {
-				params := core.ParamsFor(core.AlgA, proto.Graph())
-				params.CRSKey = seed
-				params.IterFactor = iterBudget(cfg)
-				res, err := core.Run(core.Options{Protocol: proto, Params: params})
-				if err != nil {
-					return nil, err
-				}
-				if !res.Success {
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d variant %d trial %d FAILED", n, i, trial))
-				}
-				// Blowup relative to the ORIGINAL sparse protocol: the
-				// fully-utilized conversion's padding is pure overhead.
-				blow := float64(res.Metrics.CC) / float64(sparseBits)
+		for i, proto := range []protocol.Protocol{ring, fu} {
+			base := mpic.Scenario{
+				Workload:   mpic.UseProtocol(proto),
+				Scheme:     mpic.AlgorithmA,
+				Seed:       cfg.Seed,
+				IterFactor: iterBudget(cfg),
+			}
+			c, err := sweepCell(base, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if c.Successes < c.Trials {
+				t.Notes = append(t.Notes, fmt.Sprintf("n=%d variant %d: %d/%d trials FAILED", n, i, c.Trials-c.Successes, c.Trials))
+			}
+			scale := 1.0
+			if i == 1 {
+				scale = float64(fuBits) / float64(sparseBits)
+			}
+			for _, blow := range c.Blowups {
 				if i == 0 {
-					sparseBlow = append(sparseBlow, blow)
+					sparseBlow = append(sparseBlow, blow*scale)
 				} else {
-					fuBlow = append(fuBlow, blow)
+					fuBlow = append(fuBlow, blow*scale)
 				}
 			}
 		}

@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
+	"mpic"
 	"mpic/internal/adversary"
 	"mpic/internal/bitstring"
 	"mpic/internal/channel"
@@ -15,18 +16,13 @@ import (
 
 // runOnce executes a single trial of a scheme under noise.
 func runOnce(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float64, cfg Config, trial int) (*core.Result, error) {
-	seed := cfg.Seed + int64(trial)*7907
-	proto := workload(g, seed, cfg.Quick)
-	params := core.ParamsFor(scheme, g)
-	params.CRSKey = seed
-	params.IterFactor = iterBudget(cfg)
-	var links []channel.Link
-	for _, e := range g.Edges() {
-		links = append(links, channel.Link{From: e.U, To: e.V}, channel.Link{From: e.V, To: e.U})
+	noise, err := mpic.Noise(noiseKind, rate)
+	if err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed * 31))
-	adv, factory := noiseFor(noiseKind, rate, links, rng)
-	return core.Run(core.Options{Protocol: proto, Params: params, Adversary: adv, AdversaryFactory: factory})
+	sc := cellScenario(scheme, g, noise, cfg, iterBudget(cfg))
+	sc.Seed = cfg.Seed + int64(trial)*trialSeedStep
+	return sharedRunner.Run(context.Background(), sc)
 }
 
 // simBitDeleter deletes the first `cap` payload bits on one link during
@@ -66,35 +62,32 @@ func RewindWave(cfg Config) (*Table, error) {
 	}
 	for _, n := range sizes {
 		g := graph.Line(n)
-		proto := workload(g, cfg.Seed, cfg.Quick)
-		params := core.ParamsFor(core.AlgA, g)
-		params.CRSKey = cfg.Seed
-		params.IterFactor = iterBudget(cfg)
+		base := cellScenario(core.AlgA, g, nil, cfg, iterBudget(cfg))
 
-		clean, err := core.Run(core.Options{Protocol: proto, Params: params})
+		clean, err := sharedRunner.Run(context.Background(), base)
 		if err != nil {
 			return nil, err
 		}
-		noisy, err := core.Run(core.Options{
-			Protocol: proto,
-			Params:   params,
-			AdversaryFactory: func(info core.RunInfo) adversary.Adversary {
+		noisy := base
+		noisy.Noise = mpic.NoiseFunc("sim-bit-deleter", func(env mpic.NoiseEnv) (mpic.WiredNoise, error) {
+			return mpic.WiredNoise{Factory: func(info mpic.RunInfo) mpic.Adversary {
 				return &simBitDeleter{oracle: info.PhaseOracle, target: channel.Link{From: 0, To: 1}, cap: 1}
-			},
+			}}, nil
 		})
+		noisyRes, err := sharedRunner.Run(context.Background(), noisy)
 		if err != nil {
 			return nil, err
 		}
 		status := ""
-		if !noisy.Success {
+		if !noisyRes.Success {
 			status = " FAILED"
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n),
-			fmt.Sprint(noisy.NumChunks),
+			fmt.Sprint(noisyRes.NumChunks),
 			fmt.Sprint(clean.Iterations),
-			fmt.Sprintf("%d%s", noisy.Iterations, status),
-			fmt.Sprint(noisy.Iterations - clean.Iterations),
+			fmt.Sprintf("%d%s", noisyRes.Iterations, status),
+			fmt.Sprint(noisyRes.Iterations - clean.Iterations),
 		})
 	}
 	t.Notes = append(t.Notes, "Claim 4.7: the extra-iterations column should stay O(1) as n grows (the rewind wave crosses the line within one rewind phase)")
@@ -213,33 +206,21 @@ func Ablation(cfg Config) (*Table, error) {
 		{"no rewind phase", false, true},
 	}
 	for _, v := range variants {
-		succ := 0
-		var blowups, iters []float64
-		trials := cfg.trials()
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + int64(trial)*7907
-			proto := workload(g, seed, cfg.Quick)
-			params := core.ParamsFor(core.AlgA, g)
-			params.CRSKey = seed
-			params.IterFactor = iterBudget(cfg)
-			params.DisableFlagPassing = v.noFlag
-			params.DisableRewind = v.noRewind
-			adv := adversary.NewRandomRate(rate, rand.New(rand.NewSource(seed*31)))
-			res, err := core.Run(core.Options{Protocol: proto, Params: params, Adversary: adv})
-			if err != nil {
-				return nil, err
-			}
-			if res.Success {
-				succ++
-			}
-			blowups = append(blowups, res.Blowup)
-			iters = append(iters, float64(res.Iterations))
+		v := v
+		base := cellScenario(core.AlgA, g, mpic.RandomNoise(rate), cfg, iterBudget(cfg))
+		base.Tune = func(p *mpic.Params) {
+			p.DisableFlagPassing = v.noFlag
+			p.DisableRewind = v.noRewind
+		}
+		c, err := sweepCell(base, cfg)
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			v.name,
-			fmt.Sprintf("%d/%d", succ, trials),
-			fmt.Sprintf("%.1f", stats.Summarize(blowups).Mean),
-			fmt.Sprintf("%.0f", stats.Summarize(iters).Mean),
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(c.Iterations).Mean),
 		})
 	}
 	t.Notes = append(t.Notes, "ablated variants should need more iterations/communication (or fail outright) at the same noise budget")
@@ -263,40 +244,23 @@ func DeltaBias(cfg Config) (*Table, error) {
 			name = "AGHP δ-biased"
 		}
 		for _, mult := range []float64{0, 0.01} {
-			kind := "random"
-			if mult == 0 {
-				kind = "none"
+			seedKind := seedKind
+			var noise mpic.NoiseSpec
+			if mult > 0 {
+				noise = mpic.RandomNoise(mult / m)
 			}
-			succ := 0
-			var blowups []float64
-			var collisions int64
-			trials := cfg.trials()
-			for trial := 0; trial < trials; trial++ {
-				seed := cfg.Seed + int64(trial)*7907
-				proto := workload(g, seed, true /* keep AGHP runs small */)
-				params := core.ParamsFor(core.AlgA, g)
-				params.CRSKey = seed
-				params.IterFactor = iterBudget(cfg)
-				params.SeedKind = seedKind
-				var adv adversary.Adversary = adversary.None{}
-				if kind == "random" {
-					adv = adversary.NewRandomRate(mult/m, rand.New(rand.NewSource(seed*31)))
-				}
-				res, err := core.Run(core.Options{Protocol: proto, Params: params, Adversary: adv})
-				if err != nil {
-					return nil, err
-				}
-				if res.Success {
-					succ++
-				}
-				blowups = append(blowups, res.Blowup)
-				collisions += res.Metrics.HashCollisions
+			base := cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg))
+			base.Workload = workloadSpec(g.N(), true /* keep AGHP runs small */)
+			base.Tune = func(p *mpic.Params) { p.SeedKind = seedKind }
+			c, err := sweepCell(base, cfg)
+			if err != nil {
+				return nil, err
 			}
 			t.Rows = append(t.Rows, []string{
 				name, fmt.Sprintf("%.3f", mult),
-				fmt.Sprintf("%d/%d", succ, trials),
-				fmt.Sprint(collisions),
-				fmt.Sprintf("%.1f", stats.Summarize(blowups).Mean),
+				fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+				fmt.Sprint(c.Collisions),
+				fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
 			})
 		}
 	}
@@ -318,32 +282,21 @@ func SeedAttack(cfg Config) (*Table, error) {
 	}
 	target := channel.Link{From: 0, To: 1}
 	for _, rate := range []float64{0.001, 0.01, 0.1, 0.5} {
-		succ := 0
-		var corr int64
-		broken := 0
-		trials := cfg.trials()
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + int64(trial)*7907
-			proto := workload(g, seed, cfg.Quick)
-			params := core.ParamsFor(core.AlgA, g)
-			params.CRSKey = seed
-			params.IterFactor = iterBudget(cfg)
-			adv := adversary.NewSeedAttacker([]channel.Link{target}, 1<<20, rate, rand.New(rand.NewSource(seed*31)))
-			res, err := core.Run(core.Options{Protocol: proto, Params: params, Adversary: adv})
-			if err != nil {
-				return nil, err
-			}
-			if res.Success {
-				succ++
-			}
-			corr += res.Metrics.TotalCorruptions()
-			broken += res.BrokenSeedLinks
+		rate := rate
+		noise := mpic.NoiseFunc("seed-attack", func(env mpic.NoiseEnv) (mpic.WiredNoise, error) {
+			return mpic.WiredNoise{
+				Adversary: adversary.NewSeedAttacker([]channel.Link{target}, 1<<20, rate, env.Rng),
+			}, nil
+		})
+		c, err := sweepCell(cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg)), cfg)
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.3f", rate),
-			fmt.Sprint(corr),
-			fmt.Sprintf("%d/%d", broken, trials),
-			fmt.Sprintf("%d/%d", succ, trials),
+			fmt.Sprint(c.Corruptions),
+			fmt.Sprintf("%d/%d", c.BrokenSeedLinks, c.Trials),
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
 		})
 	}
 	t.Notes = append(t.Notes,

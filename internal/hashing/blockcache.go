@@ -37,16 +37,44 @@ type BlockCache struct {
 // (callers derive it from the SeedLayout / expected transcript length) so
 // a full run does no steady-state allocation in the hash path.
 func NewBlockCache(h *InnerProductHash, src SeedSource, hintWords int) *BlockCache {
+	return NewBlockCacheIn(nil, h, src, hintWords)
+}
+
+// NewBlockCacheIn is NewBlockCache drawing its buffers from pool (nil
+// behaves like NewBlockCache). Hand the buffers back with Release when
+// the run is over so the next run can reuse them.
+func NewBlockCacheIn(pool *BufferPool, h *InnerProductHash, src SeedSource, hintWords int) *BlockCache {
 	c := &BlockCache{h: h, src: src}
 	c.bulk, _ = src.(BulkSeedSource)
 	if maxRow := int(h.wordsPerRow()); hintWords > maxRow {
 		hintWords = maxRow
 	}
 	if hintWords > 0 {
-		c.buf = make([]uint64, 0, hintWords*h.Tau)
-		c.stage = make([]uint64, 0, hintWords)
+		if pool != nil {
+			c.buf = pool.Get(hintWords * h.Tau)
+			c.stage = pool.Get(hintWords)
+		} else {
+			c.buf = make([]uint64, 0, hintWords*h.Tau)
+			c.stage = make([]uint64, 0, hintWords)
+		}
 	}
 	return c
+}
+
+// Release returns the cache's buffers to pool and empties the cache. The
+// cache must not be used afterwards. Every materialized word is
+// re-derived from the seed source before any later read (SetBlock resets
+// the materialized length), so recycled buffers can never leak one run's
+// seed words into another's hash values.
+func (c *BlockCache) Release(pool *BufferPool) {
+	if c == nil || pool == nil {
+		return
+	}
+	pool.Put(c.buf)
+	pool.Put(c.stage)
+	c.buf, c.stage = nil, nil
+	c.nw = 0
+	c.haveSet = false
 }
 
 // SetBlock points the cache at the seed block whose first stream word is

@@ -1,0 +1,85 @@
+package hashing
+
+import "sync"
+
+// BufferPool recycles the backing arrays of BlockCaches across runs. A
+// coding-scheme run builds two large seed buffers per link endpoint (the
+// mp1/mp2 prefix blocks, seedHint·τ words each) plus a small counter
+// block; on an n-party clique that is Θ(n²) short-lived allocations per
+// run. Batch drivers (Runner.Sweep, the experiment harness) run hundreds
+// of simulations back to back, so handing the buffers back to a pool
+// turns the per-run cost into a one-time warm-up — the ROADMAP's
+// "amortize seed materialization across links".
+//
+// Buffers are matched by capacity with a best-fit scan (see Get for why
+// first-fit would defeat the pool); the free list is small (a few
+// entries per link endpoint of the largest run seen), so the scan is
+// cheap next to the hash work the buffers feed. Get and Put are safe for
+// concurrent use; the pool never retains more than maxPooled buffers, so
+// a pathological caller cannot leak unbounded memory through it.
+type BufferPool struct {
+	mu   sync.Mutex
+	free [][]uint64
+}
+
+// maxPooled bounds the free list. 4096 covers two prefix buffers plus a
+// counter block per endpoint of a 26-clique (m=325, 650 endpoints).
+const maxPooled = 4096
+
+// Get returns a zero-length buffer with capacity at least minCap, reusing
+// the best-fitting pooled array when one fits. Best fit matters: each
+// link endpoint requests one tiny counter block before its two large
+// prefix blocks, and a first-fit scan would let the tiny request claim a
+// recycled prefix buffer, forcing the large requests that follow to
+// allocate fresh — the exact churn the pool exists to remove.
+func (p *BufferPool) Get(minCap int) []uint64 {
+	if minCap < 1 {
+		minCap = 1
+	}
+	p.mu.Lock()
+	best := -1
+	for i, b := range p.free {
+		if cap(b) >= minCap && (best < 0 || cap(b) < cap(p.free[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := p.free[best]
+		last := len(p.free) - 1
+		p.free[best] = p.free[last]
+		p.free[last] = nil
+		p.free = p.free[:last]
+		p.mu.Unlock()
+		return b[:0]
+	}
+	p.mu.Unlock()
+	return make([]uint64, 0, minCap)
+}
+
+// Put hands a buffer back to the pool. Zero-capacity slices and overflow
+// beyond the pool bound are dropped.
+func (p *BufferPool) Put(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxPooled {
+		p.free = append(p.free, buf[:0])
+	}
+	p.mu.Unlock()
+}
+
+// Reset drops every pooled buffer, releasing the memory to the garbage
+// collector.
+func (p *BufferPool) Reset() {
+	p.mu.Lock()
+	p.free = nil
+	p.mu.Unlock()
+}
+
+// Len reports how many buffers the pool currently holds.
+func (p *BufferPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

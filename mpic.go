@@ -15,7 +15,36 @@
 //     parties pre-share a common random string,
 //   - Algorithm1 is the CRS + oblivious-noise base scheme.
 //
-// The simplest entry point is Run with a Config:
+// # Scenarios and the Runner
+//
+// A run is described by a typed, composable Scenario — which workload
+// over which topology, protected by which scheme, under which noise —
+// and executed by a Runner:
+//
+//	runner := mpic.NewRunner()
+//	res, err := runner.Run(ctx, mpic.Scenario{
+//	    Topology: mpic.Ring(8),
+//	    Workload: mpic.TokenRing(64),
+//	    Scheme:   mpic.AlgorithmA,
+//	    Noise:    mpic.RandomNoise(0.002),
+//	    Seed:     1,
+//	})
+//
+// The Runner holds per-link hash buffers across runs (batch drivers stop
+// paying per-run seed materialization), honors context cancellation, and
+// batches cartesian parameter grids through Runner.Sweep. Per-iteration
+// progress is observable by attaching an Observer to the scenario.
+//
+// Every named building block — topology family, workload, noise model —
+// lives in an open registry (RegisterTopology, RegisterWorkload,
+// RegisterNoise), so external packages plug in new ones without touching
+// this module; see examples/customnoise.
+//
+// # Legacy string configuration
+//
+// The string-keyed Config surface predates scenarios and remains as a
+// thin shim that parses through the same registries, bit-identical to
+// earlier releases:
 //
 //	res, err := mpic.Run(mpic.Config{
 //	    Topology: "line", N: 6,
@@ -24,13 +53,34 @@
 //	    Noise:    "random", NoiseRate: 0.002,
 //	})
 //
-// Advanced callers can assemble runs from the underlying pieces via
-// NewWorkload and the re-exported option types.
+// Migration from legacy strings to typed specs:
+//
+//	Config field                 Scenario spec
+//	------------------------     -------------------------------------
+//	Topology: "line", N: 6       Topology: mpic.Line(6)
+//	Topology: "ring", N: 8       Topology: mpic.Ring(8)
+//	Topology: "star" ...         mpic.Star, mpic.Clique, mpic.Tree,
+//	                             mpic.RandomTopology, mpic.Topology(name, n)
+//	Workload: "random",          Workload: mpic.RandomTraffic(120)
+//	  WorkloadRounds: 120
+//	Workload: "token-ring"       Workload: mpic.TokenRing(rounds)
+//	Workload: "dense" ...        mpic.DenseTraffic, mpic.PhaseKing,
+//	                             mpic.PipelinedLine, mpic.TreeSum,
+//	                             mpic.Workload(name, rounds)
+//	Noise: "none"                Noise: nil
+//	Noise: "random", NoiseRate   Noise: mpic.RandomNoise(rate)
+//	Noise: "burst", NoiseRate    Noise: mpic.BurstNoise(rate) — with
+//	                             optional Link/Start/Length fields
+//	Noise: "adaptive", NoiseRate Noise: mpic.Adaptive(rate)
+//	(custom protocol)            Workload: mpic.UseProtocol(p)
+//	(custom adversary)           Noise: mpic.CustomNoise(name, adv)
+//
+// Advanced callers can still assemble runs from the underlying pieces
+// via NewWorkload, RunProtocol, and the re-exported option types.
 package mpic
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mpic/internal/adversary"
 	"mpic/internal/baseline"
@@ -58,6 +108,10 @@ type Result = core.Result
 
 // Params exposes the full scheme parameterization for advanced use.
 type Params = core.Params
+
+// WhiteBoxStats reports the Section 6.1 collision attacker's bookkeeping
+// when Scenario.WhiteBoxRate (or core's Options.WhiteBoxRate) was set.
+type WhiteBoxStats = core.WhiteBoxStats
 
 // Protocol is a noiseless multiparty protocol with a fixed speaking
 // order; implement it to simulate your own workloads. The aliases below
@@ -102,171 +156,8 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // BaselineResult is the outcome of an uncoded or naive-FEC run.
 type BaselineResult = baseline.Result
 
-// Config describes a run in terms of named building blocks.
-type Config struct {
-	// Topology is one of "line", "ring", "star", "clique", "tree",
-	// "random".
-	Topology string
-	// N is the number of parties.
-	N int
-	// Workload is one of "random", "pipelined-line", "tree-sum",
-	// "token-ring".
-	Workload string
-	// WorkloadRounds scales the workload (defaults to 30·N).
-	WorkloadRounds int
-	// Scheme selects the coding scheme (default AlgorithmA).
-	Scheme Scheme
-	// Noise is one of "none", "random", "burst", "adaptive".
-	Noise string
-	// NoiseRate is the corruption budget as a fraction of total
-	// communication (the paper's µ).
-	NoiseRate float64
-	// Seed makes the run reproducible (inputs, noise, and randomness).
-	Seed int64
-	// IterFactor bounds iterations at IterFactor·|Π| (default 100, the
-	// paper's constant).
-	IterFactor int
-	// Faithful disables the oracle's early stop, running all
-	// IterFactor·|Π| iterations like the paper's protocol.
-	Faithful bool
-	// Parallel enables the concurrent network executor.
-	Parallel bool
-	// IncrementalHash routes the meeting-points prefix hashes through
-	// rewind-aware incremental checkpoints: Θ(growth) hash work per
-	// iteration instead of Θ(transcript), at the cost of rewind-stable
-	// (rather than per-iteration fresh) prefix-hash seeds. See
-	// core.Params.IncrementalHash for the fidelity trade-off.
-	IncrementalHash bool
-}
-
-// NewTopology builds one of the named topology families.
-func NewTopology(name string, n int) (*graph.Graph, error) {
-	return graph.ByName(name, n)
-}
-
-// NewWorkload builds one of the named workload protocols over g.
-func NewWorkload(name string, g *graph.Graph, rounds int, seed int64) (Protocol, error) {
-	if rounds <= 0 {
-		rounds = 30 * g.N()
-	}
-	inputs := protocol.DefaultInputs(g.N(), 4, seed)
-	switch name {
-	case "random", "":
-		return protocol.NewRandom(g, rounds, 0.5, seed, inputs), nil
-	case "dense":
-		return protocol.NewRandom(g, rounds, 1.0, seed, inputs), nil
-	case "phase-king":
-		phases := rounds / (2 * g.N())
-		if phases < g.N() {
-			phases = g.N()
-		}
-		return protocol.NewPhaseKing(g.N(), phases, inputs), nil
-	case "pipelined-line":
-		blocks := rounds / (g.N() + 3)
-		if blocks < 1 {
-			blocks = 1
-		}
-		return protocol.NewPipelinedLine(g.N(), blocks, 4, inputs)
-	case "tree-sum":
-		epochs := rounds/(8*g.N()) + 1
-		return protocol.NewTreeSum(g, epochs, 8, inputs), nil
-	case "token-ring":
-		laps := rounds / g.N()
-		if laps < 1 {
-			laps = 1
-		}
-		return protocol.NewTokenRing(g.N(), laps, inputs)
-	default:
-		return nil, fmt.Errorf("mpic: unknown workload %q", name)
-	}
-}
-
-// build materializes a Config into runnable pieces.
-func (cfg Config) build() (Protocol, core.Options, error) {
-	if cfg.N == 0 {
-		cfg.N = 6
-	}
-	if cfg.Topology == "" {
-		cfg.Topology = "line"
-	}
-	if cfg.Scheme == 0 {
-		cfg.Scheme = AlgorithmA
-	}
-	// Workloads with fixed topologies override the requested one.
-	var g *graph.Graph
-	var err error
-	switch cfg.Workload {
-	case "pipelined-line":
-		g = graph.Line(cfg.N)
-	case "token-ring":
-		g, err = graph.ByName("ring", cfg.N)
-	case "phase-king":
-		g = graph.Clique(cfg.N)
-	default:
-		g, err = graph.ByName(cfg.Topology, cfg.N)
-	}
-	if err != nil {
-		return nil, core.Options{}, err
-	}
-	proto, err := NewWorkload(cfg.Workload, g, cfg.WorkloadRounds, cfg.Seed)
-	if err != nil {
-		return nil, core.Options{}, err
-	}
-	params := core.ParamsFor(cfg.Scheme, g)
-	params.CRSKey = cfg.Seed
-	if cfg.IterFactor > 0 {
-		params.IterFactor = cfg.IterFactor
-	}
-	if cfg.Faithful {
-		params.EarlyStop = false
-	}
-	params.IncrementalHash = cfg.IncrementalHash
-	opts := core.Options{
-		Protocol: proto,
-		Params:   params,
-		Parallel: cfg.Parallel,
-	}
-	if err := cfg.wireNoise(g, &opts); err != nil {
-		return nil, core.Options{}, err
-	}
-	return proto, opts, nil
-}
-
-func (cfg Config) wireNoise(g *graph.Graph, opts *core.Options) error {
-	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + 1))
-	switch cfg.Noise {
-	case "none", "":
-		opts.Adversary = adversary.None{}
-	case "random":
-		opts.Adversary = adversary.NewRandomRate(cfg.NoiseRate, rng)
-	case "burst":
-		edges := g.Edges()
-		e := edges[rng.Intn(len(edges))]
-		opts.Adversary = adversary.NewBurst(channel.Link{From: e.U, To: e.V}, 0, 1<<30, cfg.NoiseRate)
-	case "adaptive":
-		seed := rng.Int63()
-		rate := cfg.NoiseRate
-		opts.AdversaryFactory = func(info core.RunInfo) adversary.Adversary {
-			return adversary.NewAdaptive(info.Links, info.PhaseOracle, 3, rate, rand.New(rand.NewSource(seed)))
-		}
-	default:
-		return fmt.Errorf("mpic: unknown noise kind %q", cfg.Noise)
-	}
-	return nil
-}
-
-// Run executes the coded simulation described by cfg and verifies it
-// against a noiseless reference execution of the same workload.
-func Run(cfg Config) (*Result, error) {
-	_, opts, err := cfg.build()
-	if err != nil {
-		return nil, err
-	}
-	return core.Run(opts)
-}
-
 // RunProtocol executes a coded simulation of a caller-provided protocol
-// with explicit parameters — the advanced entry point.
+// with explicit parameters — the advanced entry point below Scenario.
 func RunProtocol(p Protocol, params Params, adv Adversary, parallel bool) (*Result, error) {
 	return core.Run(core.Options{Protocol: p, Params: params, Adversary: adv, Parallel: parallel})
 }
@@ -279,31 +170,22 @@ type Adversary = adversary.Adversary
 // topology.
 func ParamsFor(s Scheme, g *graph.Graph) Params { return core.ParamsFor(s, g) }
 
-// RunUncoded executes the workload of cfg directly over the noisy
-// network — the fragile baseline.
-func RunUncoded(cfg Config) (*BaselineResult, error) {
-	proto, opts, err := cfg.build()
-	if err != nil {
-		return nil, err
+// ParseScheme maps the conventional short scheme names ("1", "A", "B",
+// "C", case-insensitive) to Scheme values — the string bridge the
+// command-line tools share.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "1":
+		return Algorithm1, nil
+	case "A", "a":
+		return AlgorithmA, nil
+	case "B", "b":
+		return AlgorithmB, nil
+	case "C", "c":
+		return AlgorithmC, nil
+	default:
+		return 0, fmt.Errorf("mpic: unknown scheme %q (want 1, A, B, or C)", s)
 	}
-	adv := opts.Adversary
-	if opts.AdversaryFactory != nil {
-		return nil, fmt.Errorf("mpic: baseline runs do not support adaptive noise")
-	}
-	return baseline.RunUncoded(proto, adv)
-}
-
-// RunNaiveFEC executes the workload with per-transmission repetition
-// coding (an odd factor rep ≥ 1) — the feedback-free baseline.
-func RunNaiveFEC(cfg Config, rep int) (*BaselineResult, error) {
-	proto, opts, err := cfg.build()
-	if err != nil {
-		return nil, err
-	}
-	if opts.AdversaryFactory != nil {
-		return nil, fmt.Errorf("mpic: baseline runs do not support adaptive noise")
-	}
-	return baseline.RunNaiveFEC(proto, opts.Adversary, rep)
 }
 
 // RunUncodedProtocol runs a caller-provided protocol uncoded under an

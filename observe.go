@@ -1,0 +1,53 @@
+package mpic
+
+import (
+	"fmt"
+	"io"
+
+	"mpic/internal/core"
+	"mpic/internal/potential"
+)
+
+// Observer receives a callback after every executed iteration of a run
+// — the public successor of the old in-package test hook. Observers see
+// live but read-only state; they cannot influence the run. Attach them
+// through Scenario.Observers (or core's Options.Observers).
+//
+// An observer may additionally implement RunStartObserver (called once
+// with the run's public phase layout before the randomness-exchange
+// preamble) or RunEndObserver (called once with the final Result).
+type Observer = core.Observer
+
+// IterationStats is the per-iteration snapshot handed to observers: the
+// iteration index, the live network accounting, and — when the oracle is
+// on — the potential snapshot of the iteration.
+type IterationStats = core.IterationStats
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// RunStartObserver is the optional run-start extension of Observer.
+type RunStartObserver = core.RunStartObserver
+
+// RunEndObserver is the optional run-end extension of Observer.
+type RunEndObserver = core.RunEndObserver
+
+// Snapshot is the oracle's per-iteration ground-truth view (agreed
+// prefix, divergence, links in recovery, potential value).
+type Snapshot = potential.Snapshot
+
+// NewIterationLog returns a pluggable observer sink that writes one line
+// per iteration to w: communication, corruptions, and — when the oracle
+// is on — the agreed prefix G* and divergence B*.
+func NewIterationLog(w io.Writer) Observer {
+	return ObserverFunc(func(st IterationStats) {
+		if st.Snapshot != nil {
+			fmt.Fprintf(w, "iter %4d: cc=%d corruptions=%d G*=%d B*=%d mp=%d\n",
+				st.Iteration, st.Metrics.CC, st.Metrics.TotalCorruptions(),
+				st.Snapshot.GStar, st.Snapshot.BStar, st.Snapshot.MeetingLinks)
+			return
+		}
+		fmt.Fprintf(w, "iter %4d: cc=%d corruptions=%d\n",
+			st.Iteration, st.Metrics.CC, st.Metrics.TotalCorruptions())
+	})
+}

@@ -1,0 +1,213 @@
+package mpic
+
+import (
+	"context"
+	"fmt"
+
+	"mpic/internal/core"
+)
+
+// Runner executes scenarios while holding run-to-run state: a shared
+// arena that recycles every link's hash block buffers, so batch drivers
+// (sweeps, experiment tables, services replaying many scenarios) stop
+// paying the per-run seed-materialization allocations. Results are
+// bit-identical to one-shot runs.
+//
+// A Runner is safe for concurrent use; Close releases the pooled memory
+// (using the Runner afterwards is still valid — it just re-warms).
+type Runner struct {
+	arena *core.Arena
+}
+
+// NewRunner returns a Runner with an empty arena.
+func NewRunner() *Runner { return &Runner{arena: core.NewArena()} }
+
+// Run executes one scenario. ctx cancels the run between iterations
+// (ctx.Err() is returned and the partial run is discarded); pass
+// context.Background() when cancellation is not needed. A nil Runner is
+// valid and runs without an arena.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (*Result, error) {
+	opts, err := sc.options()
+	if err != nil {
+		return nil, err
+	}
+	opts.Context = ctx
+	if r != nil {
+		opts.Arena = r.arena
+	}
+	return core.Run(opts)
+}
+
+// Close drops the Runner's pooled memory.
+func (r *Runner) Close() {
+	if r != nil {
+		r.arena.Reset()
+	}
+}
+
+// RunScenario executes one scenario without a reusable Runner — the
+// one-shot typed entry point.
+func RunScenario(ctx context.Context, sc Scenario) (*Result, error) {
+	return (*Runner)(nil).Run(ctx, sc)
+}
+
+// Sweep describes a cartesian grid of scenarios: the base scenario is
+// re-run at every combination of the N, Schemes, and Rates axes (an
+// empty axis keeps the base value), with Trials seeds per cell.
+type Sweep struct {
+	// Base is the scenario template every cell starts from.
+	Base Scenario
+	// N resizes Base.Topology across these party counts (the topology
+	// must be a named or builder family, not an explicit graph).
+	N []int
+	// Schemes substitutes these coding schemes.
+	Schemes []Scheme
+	// Rates substitutes these noise rates into Base.Noise (which must be
+	// non-nil when the axis is used).
+	Rates []float64
+	// Trials is the number of seeds per cell (default 1); trial t runs at
+	// Base.Seed + t·SeedStep.
+	Trials int
+	// SeedStep is the per-trial seed stride (default 1).
+	SeedStep int64
+}
+
+// SweepCell aggregates the runs of one grid point.
+type SweepCell struct {
+	// N, Scheme and Rate identify the cell. Rate is meaningful only when
+	// the sweep's Rates axis was used.
+	N      int
+	Scheme Scheme
+	Rate   float64
+	// Trials and Successes count runs and runs whose every party decoded
+	// correctly.
+	Trials    int
+	Successes int
+	// Blowups and Iterations hold the per-trial communication blowup and
+	// executed iteration count, in trial order.
+	Blowups    []float64
+	Iterations []float64
+	// Corruptions and Collisions total the adversary's landed corruptions
+	// and the oracle-observed hash collisions across trials.
+	Corruptions int64
+	Collisions  int64
+	// BrokenSeedLinks totals the link endpoints whose randomness exchange
+	// failed across trials.
+	BrokenSeedLinks int
+	// WhiteBox totals the collision attacker's bookkeeping across trials
+	// (zero unless Base.WhiteBoxRate was set).
+	WhiteBox WhiteBoxStats
+}
+
+// SuccessRate is Successes/Trials.
+func (c SweepCell) SuccessRate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Successes) / float64(c.Trials)
+}
+
+// MeanBlowup averages the per-trial communication blowups.
+func (c SweepCell) MeanBlowup() float64 { return mean(c.Blowups) }
+
+// MeanIterations averages the per-trial executed iteration counts.
+func (c SweepCell) MeanIterations() float64 { return mean(c.Iterations) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sweep executes the grid cell by cell (axes nested N → Schemes → Rates,
+// trials innermost) and returns one aggregated cell per grid point. The
+// first run error aborts the sweep, as does ctx cancellation.
+func (r *Runner) Sweep(ctx context.Context, sw Sweep) ([]SweepCell, error) {
+	ns := sw.N
+	if len(ns) == 0 {
+		ns = []int{0} // sentinel: keep the base topology
+	}
+	schemes := sw.Schemes
+	if len(schemes) == 0 {
+		schemes = []Scheme{0} // sentinel: keep the base scheme
+	}
+	useRates := len(sw.Rates) > 0
+	rates := sw.Rates
+	if !useRates {
+		rates = []float64{0}
+	}
+	if useRates && sw.Base.Noise == nil {
+		return nil, fmt.Errorf("mpic: Sweep.Rates needs Base.Noise to vary")
+	}
+	trials := sw.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	step := sw.SeedStep
+	if step == 0 {
+		step = 1
+	}
+
+	cells := make([]SweepCell, 0, len(ns)*len(schemes)*len(rates))
+	for _, n := range ns {
+		topo := sw.Base.Topology
+		if n > 0 {
+			var err error
+			topo, err = topo.withN(n)
+			if err != nil {
+				return nil, err
+			}
+			if topo.isZero() {
+				return nil, fmt.Errorf("mpic: Sweep.N cannot resize an implicit topology (set Base.Topology to a named family; workload-provided protocols are fixed-size)")
+			}
+		}
+		for _, scheme := range schemes {
+			for _, rate := range rates {
+				sc := sw.Base
+				sc.Topology = topo
+				if scheme != 0 {
+					sc.Scheme = scheme
+				}
+				if useRates {
+					sc.Noise = sw.Base.Noise.WithRate(rate)
+					if sc.Noise == nil {
+						return nil, fmt.Errorf("mpic: noise %q cannot vary its rate (WithRate returned nil); register a rate-parameterized NoiseFamily to sweep it",
+							sw.Base.Noise.NoiseName())
+					}
+				}
+				cell := SweepCell{N: sw.Base.partyCount(topo), Scheme: sc.Scheme, Rate: rate}
+				if cell.Scheme == 0 {
+					cell.Scheme = AlgorithmA
+				}
+				for trial := 0; trial < trials; trial++ {
+					sc.Seed = sw.Base.Seed + int64(trial)*step
+					res, err := r.Run(ctx, sc)
+					if err != nil {
+						return nil, fmt.Errorf("sweep cell n=%d scheme=%v rate=%g trial=%d: %w",
+							cell.N, cell.Scheme, rate, trial, err)
+					}
+					cell.Trials++
+					if res.Success {
+						cell.Successes++
+					}
+					cell.Blowups = append(cell.Blowups, res.Blowup)
+					cell.Iterations = append(cell.Iterations, float64(res.Iterations))
+					cell.Corruptions += res.Metrics.TotalCorruptions()
+					cell.Collisions += res.Metrics.HashCollisions
+					cell.BrokenSeedLinks += res.BrokenSeedLinks
+					if res.WhiteBox != nil {
+						cell.WhiteBox.Tried += res.WhiteBox.Tried
+						cell.WhiteBox.Landed += res.WhiteBox.Landed
+					}
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}

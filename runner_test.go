@@ -1,0 +1,230 @@
+package mpic_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpic"
+)
+
+// TestSweepGrid pins the cartesian semantics: cell order, per-cell
+// identity fields, trial counts, and the noiseless-success invariant.
+func TestSweepGrid(t *testing.T) {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	cells, err := runner.Sweep(context.Background(), mpic.Sweep{
+		Base: mpic.Scenario{
+			Topology:   mpic.Line(4),
+			Workload:   mpic.RandomTraffic(40),
+			Noise:      mpic.RandomNoise(0),
+			Seed:       3,
+			IterFactor: 15,
+		},
+		N:        []int{4, 5},
+		Schemes:  []mpic.Scheme{mpic.AlgorithmA, mpic.Algorithm1},
+		Rates:    []float64{0, 0.001},
+		Trials:   2,
+		SeedStep: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	want := 0
+	for _, n := range []int{4, 5} {
+		for _, s := range []mpic.Scheme{mpic.AlgorithmA, mpic.Algorithm1} {
+			for _, rate := range []float64{0, 0.001} {
+				c := cells[want]
+				want++
+				if c.N != n || c.Scheme != s || c.Rate != rate {
+					t.Fatalf("cell %d is (n=%d, %v, %g), want (n=%d, %v, %g)",
+						want-1, c.N, c.Scheme, c.Rate, n, s, rate)
+				}
+				if c.Trials != 2 || len(c.Blowups) != 2 || len(c.Iterations) != 2 {
+					t.Fatalf("cell %d has %d trials (%d blowups)", want-1, c.Trials, len(c.Blowups))
+				}
+				if rate == 0 && c.Successes != c.Trials {
+					t.Errorf("noiseless cell %d not fully successful: %d/%d", want-1, c.Successes, c.Trials)
+				}
+				if rate == 0 && c.Corruptions != 0 {
+					t.Errorf("noiseless cell %d recorded %d corruptions", want-1, c.Corruptions)
+				}
+				if c.MeanBlowup() <= 0 {
+					t.Errorf("cell %d mean blowup %.2f", want-1, c.MeanBlowup())
+				}
+			}
+		}
+	}
+}
+
+// TestSweepValidation pins the grid error paths.
+func TestSweepValidation(t *testing.T) {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	// Rates without a base noise model.
+	_, err := runner.Sweep(context.Background(), mpic.Sweep{
+		Base:  mpic.Scenario{Topology: mpic.Line(4)},
+		Rates: []float64{0.1},
+	})
+	if err == nil {
+		t.Error("rate axis without Base.Noise accepted")
+	}
+	// An N axis cannot resize an explicit graph.
+	g, err := mpic.NewTopology("line", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runner.Sweep(context.Background(), mpic.Sweep{
+		Base: mpic.Scenario{Topology: mpic.GraphTopology(g)},
+		N:    []int{4, 6},
+	})
+	if err == nil {
+		t.Error("N axis over an explicit graph accepted")
+	}
+	// A rate axis over a noise spec whose rate is baked into a closure
+	// must error loudly instead of running mislabeled cells.
+	fixed := mpic.NoiseFunc("fixed", func(env mpic.NoiseEnv) (mpic.WiredNoise, error) {
+		return mpic.WiredNoise{Adversary: mpic.NewFixedDeletions(0, 1, 0, 0)}, nil
+	})
+	_, err = runner.Sweep(context.Background(), mpic.Sweep{
+		Base:  mpic.Scenario{Topology: mpic.Line(4), Noise: fixed},
+		Rates: []float64{0.001, 0.01},
+	})
+	if err == nil {
+		t.Error("rate axis over a closure-rated NoiseFunc accepted")
+	}
+}
+
+// TestSweepProtocolWorkloadN pins SweepCell.N for scenarios whose
+// topology is implicit in a pre-built protocol.
+func TestSweepProtocolWorkloadN(t *testing.T) {
+	g, err := mpic.NewTopology("ring", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := mpic.NewWorkload("token-ring", g, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := mpic.NewRunner().Sweep(context.Background(), mpic.Sweep{
+		Base: mpic.Scenario{Workload: mpic.UseProtocol(proto), Seed: 1, IterFactor: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].N != 5 {
+		t.Fatalf("UseProtocol sweep cell reports N=%d, want 5", cells[0].N)
+	}
+}
+
+// TestObserverLifecycle pins the Observer contract: RunStarted once,
+// IterationDone exactly once per executed iteration with monotone
+// communication, RunDone once with the final result.
+func TestObserverLifecycle(t *testing.T) {
+	ob := &recordingObserver{}
+	res, err := mpic.RunScenario(context.Background(), mpic.Scenario{
+		Topology:   mpic.Line(4),
+		Workload:   mpic.RandomTraffic(40),
+		Noise:      mpic.RandomNoise(0.002),
+		Seed:       5,
+		IterFactor: 15,
+		Observers:  []mpic.Observer{ob},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.started != 1 {
+		t.Errorf("RunStarted fired %d times, want 1", ob.started)
+	}
+	if ob.done != 1 || ob.final != res {
+		t.Errorf("RunDone fired %d times (final==res: %v), want once with the result", ob.done, ob.final == res)
+	}
+	if len(ob.iters) != res.Iterations {
+		t.Fatalf("observed %d iterations, result says %d", len(ob.iters), res.Iterations)
+	}
+	prevCC := int64(-1)
+	for i, st := range ob.iters {
+		if st.iteration != i {
+			t.Fatalf("iteration %d reported as %d", i, st.iteration)
+		}
+		if st.cc < prevCC {
+			t.Fatalf("communication went backwards at iteration %d: %d < %d", i, st.cc, prevCC)
+		}
+		prevCC = st.cc
+		if !st.hadSnapshot {
+			t.Fatalf("iteration %d missing oracle snapshot", i)
+		}
+	}
+	if ob.links == 0 {
+		t.Error("RunStarted info had no links")
+	}
+}
+
+type iterRecord struct {
+	iteration   int
+	cc          int64
+	hadSnapshot bool
+}
+
+type recordingObserver struct {
+	started int
+	links   int
+	iters   []iterRecord
+	done    int
+	final   *mpic.Result
+}
+
+func (r *recordingObserver) RunStarted(info mpic.RunInfo) {
+	r.started++
+	r.links = len(info.Links)
+}
+
+func (r *recordingObserver) IterationDone(st mpic.IterationStats) {
+	r.iters = append(r.iters, iterRecord{
+		iteration:   st.Iteration,
+		cc:          st.Metrics.CC,
+		hadSnapshot: st.Snapshot != nil,
+	})
+}
+
+func (r *recordingObserver) RunDone(res *mpic.Result) {
+	r.done++
+	r.final = res
+}
+
+// TestRunnerCancellation pins context semantics: an observer cancels the
+// context after the first iteration, and the run returns ctx.Err()
+// without a result.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := 0
+	res, err := mpic.NewRunner().Run(ctx, mpic.Scenario{
+		Topology: mpic.Line(4),
+		Workload: mpic.RandomTraffic(60),
+		Seed:     3,
+		Faithful: true, IterFactor: 50,
+		Observers: []mpic.Observer{mpic.ObserverFunc(func(st mpic.IterationStats) {
+			fired++
+			cancel()
+		})},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want context.Canceled", res, err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a result")
+	}
+	if fired != 1 {
+		t.Errorf("run continued for %d iterations after cancellation", fired)
+	}
+	// A pre-cancelled context never starts.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if _, err := mpic.NewRunner().Run(dead, mpic.Scenario{Topology: mpic.Line(3), Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v", err)
+	}
+}

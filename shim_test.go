@@ -1,0 +1,202 @@
+package mpic_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"mpic"
+)
+
+// sameResult asserts two runs produced identical observable outcomes.
+func sameResult(t *testing.T, a, b *mpic.Result) {
+	t.Helper()
+	if a.Success != b.Success || a.Iterations != b.Iterations || a.GStar != b.GStar ||
+		a.Metrics.CC != b.Metrics.CC || a.WrongParties != b.WrongParties ||
+		a.Metrics.TotalCorruptions() != b.Metrics.TotalCorruptions() {
+		t.Fatalf("results differ:\n a={succ:%v it:%d g*:%d cc:%d wrong:%d corr:%d}\n b={succ:%v it:%d g*:%d cc:%d wrong:%d corr:%d}",
+			a.Success, a.Iterations, a.GStar, a.Metrics.CC, a.WrongParties, a.Metrics.TotalCorruptions(),
+			b.Success, b.Iterations, b.GStar, b.Metrics.CC, b.WrongParties, b.Metrics.TotalCorruptions())
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("output count differs: %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	for i := range a.Outputs {
+		if !bytes.Equal(a.Outputs[i], b.Outputs[i]) {
+			t.Fatalf("party %d output differs", i)
+		}
+	}
+}
+
+// checkShim runs a legacy Config both through the shim (Run) and through
+// Config.Scenario → Runner and asserts bit-identical results.
+func checkShim(t *testing.T, runner *mpic.Runner, cfg mpic.Config) {
+	t.Helper()
+	legacy, err := mpic.Run(cfg)
+	if err != nil {
+		t.Fatalf("legacy run: %v", err)
+	}
+	sc, err := cfg.Scenario()
+	if err != nil {
+		t.Fatalf("Scenario(): %v", err)
+	}
+	typed, err := runner.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("typed run: %v", err)
+	}
+	sameResult(t, legacy, typed)
+}
+
+// TestShimEquivalenceTopologies routes every registered built-in topology
+// name through both surfaces.
+func TestShimEquivalenceTopologies(t *testing.T) {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	for _, topo := range []string{"line", "ring", "star", "clique", "tree", "random"} {
+		t.Run(topo, func(t *testing.T) {
+			checkShim(t, runner, mpic.Config{
+				Topology: topo, N: 4, Workload: "random",
+				Noise: "random", NoiseRate: 0.001,
+				Seed: 5, IterFactor: 15,
+			})
+		})
+	}
+}
+
+// TestShimEquivalenceWorkloads routes every registered built-in workload
+// name through both surfaces (topology left empty: the fixed-topology
+// workloads must pick their own default either way).
+func TestShimEquivalenceWorkloads(t *testing.T) {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	for _, wl := range []string{"random", "dense", "phase-king", "pipelined-line", "tree-sum", "token-ring"} {
+		t.Run(wl, func(t *testing.T) {
+			checkShim(t, runner, mpic.Config{
+				Workload: wl, N: 4, WorkloadRounds: 40,
+				Seed: 7, IterFactor: 15,
+			})
+		})
+	}
+}
+
+// TestShimEquivalenceNoises routes every registered built-in noise name
+// through both surfaces, across the scheme whose randomness mode the
+// noise stresses.
+func TestShimEquivalenceNoises(t *testing.T) {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	for _, tc := range []struct {
+		noise  string
+		scheme mpic.Scheme
+		rate   float64
+	}{
+		{"none", mpic.Algorithm1, 0},
+		{"random", mpic.AlgorithmA, 0.002},
+		{"burst", mpic.AlgorithmA, 0.002},
+		{"adaptive", mpic.AlgorithmB, 0.0005},
+	} {
+		t.Run(tc.noise, func(t *testing.T) {
+			checkShim(t, runner, mpic.Config{
+				Topology: "ring", N: 4, Scheme: tc.scheme,
+				Noise: tc.noise, NoiseRate: tc.rate,
+				Seed: 11, IterFactor: 20,
+			})
+		})
+	}
+}
+
+// TestConfigFixedTopologyConflict pins the satellite fix: a fixed-
+// topology workload rejects a conflicting explicit topology instead of
+// silently overriding it, and accepts both the empty default and the
+// matching explicit name.
+func TestConfigFixedTopologyConflict(t *testing.T) {
+	for _, tc := range []struct{ workload, fixed string }{
+		{"pipelined-line", "line"},
+		{"token-ring", "ring"},
+		{"phase-king", "clique"},
+	} {
+		if _, err := mpic.Run(mpic.Config{Workload: tc.workload, Topology: "star", N: 4, IterFactor: 5}); err == nil {
+			t.Errorf("%s: conflicting explicit topology accepted", tc.workload)
+		} else if !strings.Contains(err.Error(), tc.fixed) {
+			t.Errorf("%s: conflict error does not name the fixed topology %q: %v", tc.workload, tc.fixed, err)
+		}
+		matching, err := mpic.Run(mpic.Config{Workload: tc.workload, Topology: tc.fixed, N: 4, WorkloadRounds: 40, Seed: 3, IterFactor: 15})
+		if err != nil {
+			t.Fatalf("%s: matching explicit topology rejected: %v", tc.workload, err)
+		}
+		dflt, err := mpic.Run(mpic.Config{Workload: tc.workload, N: 4, WorkloadRounds: 40, Seed: 3, IterFactor: 15})
+		if err != nil {
+			t.Fatalf("%s: empty topology rejected: %v", tc.workload, err)
+		}
+		sameResult(t, matching, dflt)
+	}
+}
+
+// TestBurstSpecDefaultsMatchLegacy pins the satellite fix: BurstNoise
+// with no Link/Start/Length reproduces the legacy hard-coded behavior
+// (random edge, window [0, 1<<30)), while the new fields take effect when
+// set.
+func TestBurstSpecDefaultsMatchLegacy(t *testing.T) {
+	cfg := mpic.Config{Topology: "line", N: 5, Noise: "burst", NoiseRate: 0.003, Seed: 9, IterFactor: 20}
+	legacy, err := mpic.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cfg.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sc.Noise.(mpic.BurstSpec); !ok {
+		t.Fatalf("legacy burst parsed to %T, want mpic.BurstSpec", sc.Noise)
+	}
+	typed, err := mpic.RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacy, typed)
+
+	// Explicit window fields: a window starting after the run ends must
+	// land no corruptions — proving Start/Length actually confine the
+	// attack (the legacy spec always covered the whole run).
+	sc.Noise = mpic.BurstSpec{Rate: 0.003, Link: &mpic.Link{From: 0, To: 1}, Start: 1 << 28, Length: 10}
+	quiet, err := mpic.RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Metrics.TotalCorruptions() != 0 {
+		t.Errorf("out-of-run burst window landed %d corruptions", quiet.Metrics.TotalCorruptions())
+	}
+	// A burst on a link outside the topology is a loud error, not a
+	// silent no-op.
+	sc.Noise = mpic.BurstSpec{Rate: 0.003, Link: &mpic.Link{From: 0, To: 4}}
+	if _, err := mpic.RunScenario(context.Background(), sc); err == nil {
+		t.Error("burst on a non-edge accepted")
+	}
+}
+
+// TestRunnerReuseBitIdentical pins the arena: running the same scenario
+// repeatedly through one Runner (buffer reuse) must match a fresh
+// one-shot run exactly.
+func TestRunnerReuseBitIdentical(t *testing.T) {
+	sc := mpic.Scenario{
+		Topology: mpic.Clique(4),
+		Workload: mpic.RandomTraffic(60),
+		Scheme:   mpic.AlgorithmA,
+		Noise:    mpic.RandomNoise(0.002),
+		Seed:     21, IterFactor: 20,
+	}
+	oneShot, err := mpic.RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	for i := 0; i < 3; i++ {
+		reused, err := runner.Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, oneShot, reused)
+	}
+}
