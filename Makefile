@@ -1,13 +1,22 @@
 # Verification entry points. `make verify` is the PR gate: the tier-1
-# suite (build, vet, test) plus a race-detector pass over the internal
-# packages with GOMAXPROCS forced to 4, so the persistent parallel round
-# engine and the incremental checkpoint store get real concurrency
-# coverage even on single-CPU boxes (where the worker pool would
-# otherwise stay disabled and races could hide), plus an explicit
+# suite (build, vet, test) plus a race-detector pass with GOMAXPROCS
+# forced to 4, so the persistent parallel round engine, the incremental
+# checkpoint store, AND the streaming parallel grid engine (package mpic:
+# Runner.RunGrid / Sweep workers sharing one arena) get real concurrency
+# coverage even on single-CPU boxes (where the worker pools would
+# otherwise stay at width 1 and races could hide), plus an explicit
 # build/vet/test pass over examples/ so the public Scenario/Runner API
 # cannot drift from its documented usage.
 
 GO ?= go
+
+# Worker-pool width for `make sweep` (0 = GOMAXPROCS, 1 = sequential).
+# Grid results are bit-identical at any setting.
+SWEEP_PARALLEL ?= 0
+
+# Incremental JSON checkpoint for `make sweep`: every completed cell is
+# persisted, and re-running the same grid resumes instead of restarting.
+SWEEP_CHECKPOINT ?= SWEEP.ckpt.json
 
 .PHONY: verify tier1 race examples bench compare sweep
 
@@ -19,7 +28,7 @@ tier1:
 	$(GO) test ./...
 
 race:
-	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 . ./internal/...
 
 # The examples are the public API's living documentation; their example
 # tests (external registration through the open registries) must keep
@@ -36,9 +45,13 @@ bench:
 # Regenerate the experiment artefact and gate it against the previous
 # PR's (fails on >10% wall-clock regression).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR3.json -compare BENCH_PR2.json
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR4.json -compare BENCH_PR3.json
 
-# Exercise Runner.Sweep on a small n × scheme × rate grid.
+# Exercise the streaming grid engine on a small n × scheme × rate grid;
+# rows print as cells complete and land in the resumable checkpoint.
+# Tune concurrency with SWEEP_PARALLEL=k.
 sweep:
-	$(GO) run ./cmd/mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B \
+	$(GO) run ./cmd/mpicbench -sweep -parallel $(SWEEP_PARALLEL) \
+		-sweep-checkpoint $(SWEEP_CHECKPOINT) \
+		-sweep-n 4,6 -sweep-schemes A,B \
 		-sweep-rates 0,0.001 -trials 2 -sweep-iterfactor 20

@@ -1,0 +1,94 @@
+package mpic
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCartesianGrid is the registry-driven fuzz pass: one tiny
+// scenario per registered topology × workload × noise triple, executed
+// as a single streaming grid. The per-name shim tests pin each seed
+// entry in isolation; this test catches the cross-product regressions
+// they miss (a workload whose builder chokes on a topology shape, a
+// noise family whose wiring assumes a particular link set) — including
+// entries registered by external packages, which share the registries
+// in this test binary.
+func TestRegistryCartesianGrid(t *testing.T) {
+	const n = 4
+	var cells []GridCell
+	var labels []string
+	fixedSkipped := 0
+	for _, topoName := range TopologyNames() {
+		if _, err := NewTopology(topoName, n); err != nil {
+			// External families may legitimately reject this size; the
+			// built-in seed entries may not (checked below).
+			t.Logf("topology %q rejected n=%d: %v", topoName, n, err)
+			continue
+		}
+		for _, wlName := range WorkloadNames() {
+			def, err := workloads.lookup(wlName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if def.FixedTopology != "" && def.FixedTopology != topoName {
+				// The scenario layer rejects the combination by contract
+				// (pinned in TestCartesianFixedTopologyRejected).
+				fixedSkipped++
+				continue
+			}
+			for _, noiseName := range NoiseNames() {
+				noise, err := Noise(noiseName, 0.003)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cells = append(cells, GridCell{Scenario: Scenario{
+					Topology:   Topology(topoName, n),
+					Workload:   Workload(wlName, 20),
+					Noise:      noise,
+					Seed:       7,
+					IterFactor: 6,
+				}})
+				labels = append(labels, topoName+"/"+wlName+"/"+noiseName)
+			}
+		}
+	}
+	// The built-in registries alone span 6 topologies × (3 free + 3
+	// fixed-topology) workloads × 4 noise models.
+	if want := 6*3*4 + 3*4; len(cells) < want {
+		t.Fatalf("cartesian grid has %d cells, want at least %d (built-ins)", len(cells), want)
+	}
+	if fixedSkipped == 0 {
+		t.Error("no fixed-topology combinations skipped — registry constraint metadata lost")
+	}
+
+	runner := NewRunner()
+	defer runner.Close()
+	results, err := runner.CollectGrid(context.Background(), Grid{Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		c := res.Cell
+		if c.Trials != 1 || len(c.Iterations) != 1 || c.Iterations[0] < 1 {
+			t.Errorf("%s: degenerate cell %+v", labels[i], c)
+		}
+		if c.MeanBlowup() <= 0 {
+			t.Errorf("%s: no communication measured", labels[i])
+		}
+	}
+}
+
+// TestCartesianFixedTopologyRejected pins the constraint the cartesian
+// grid skips over: a fixed-topology workload on the wrong family errors
+// loudly instead of running on a mislabeled graph.
+func TestCartesianFixedTopologyRejected(t *testing.T) {
+	_, err := RunScenario(context.Background(), Scenario{
+		Topology: Line(4),
+		Workload: PhaseKing(20),
+		Seed:     1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "runs only on") {
+		t.Fatalf("phase-king over a line: got %v, want fixed-topology rejection", err)
+	}
+}

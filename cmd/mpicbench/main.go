@@ -20,11 +20,22 @@
 // absolute guard against timer noise on sub-25ms experiments). Artefacts
 // produced before wall-clock stamping existed compare as "n/a".
 //
-// The -sweep flag switches the command to a Runner.Sweep grid instead of
-// the named experiments: a cartesian product over party counts, schemes
-// and noise rates, printed as one markdown table. Example:
+// The -sweep flag switches the command to a streaming grid run instead
+// of the named experiments: a cartesian product over party counts,
+// schemes and noise rates, executed by the parallel grid engine
+// (mpic.Runner.RunGrid) with each row printed the moment its cell
+// completes. -parallel bounds the worker pool (0 = GOMAXPROCS, 1 =
+// sequential); results are bit-identical at any setting, only row order
+// and wall clock change. Example:
 //
 //	mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B -sweep-rates 0,0.002 -trials 2
+//
+// The -sweep-checkpoint flag makes long grids resumable: after every
+// completed cell the named JSON file is rewritten with all finished
+// cells, keyed by (n, scheme, rate), plus a fingerprint of the grid
+// flags. Re-running the same command after an interruption restores the
+// checkpointed cells without re-running them and executes only the rest;
+// a checkpoint written by different grid flags is rejected.
 package main
 
 import (
@@ -58,7 +69,7 @@ func run(args []string) error {
 		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR2.json)")
 		compare  = fs.String("compare", "", "prior JSON artefact to compare against (e.g. BENCH_PR1.json); exits non-zero on >10% wall-clock regression")
 
-		doSweep    = fs.Bool("sweep", false, "run a Runner.Sweep grid instead of the named experiments")
+		doSweep    = fs.Bool("sweep", false, "run a streaming grid instead of the named experiments")
 		swTopology = fs.String("sweep-topology", "", "sweep: topology family ("+strings.Join(mpic.TopologyNames(), "|")+"; default: the workload's)")
 		swWorkload = fs.String("sweep-workload", "random", "sweep: workload family ("+strings.Join(mpic.WorkloadNames(), "|")+")")
 		swRounds   = fs.Int("sweep-rounds", 0, "sweep: workload rounds (0 = default)")
@@ -67,6 +78,8 @@ func run(args []string) error {
 		swSchemes  = fs.String("sweep-schemes", "A", "sweep: comma-separated schemes (1|A|B|C)")
 		swRates    = fs.String("sweep-rates", "0.001", "sweep: comma-separated noise rates")
 		swIters    = fs.Int("sweep-iterfactor", 30, "sweep: iteration budget multiplier")
+		swParallel = fs.Int("parallel", 0, "sweep: concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
+		swCkpt     = fs.String("sweep-checkpoint", "", "sweep: incremental JSON checkpoint file; an existing one resumes the grid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +105,7 @@ func run(args []string) error {
 			topology: *swTopology, workload: *swWorkload, rounds: *swRounds,
 			noise: *swNoise, n: *swN, schemes: *swSchemes, rates: *swRates,
 			iterFactor: *swIters, trials: *trials, seed: *seed, ratesSet: ratesSet,
+			parallel: *swParallel, checkpoint: *swCkpt,
 		})
 	}
 	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
@@ -205,10 +219,32 @@ type sweepFlags struct {
 	// ratesSet records whether -sweep-rates was given explicitly, so a
 	// rate axis that would silently vanish (noise "none") errors instead.
 	ratesSet bool
+	// parallel bounds the engine's worker pool (0 = GOMAXPROCS).
+	parallel int
+	// checkpoint, when set, is the incremental JSON checkpoint file.
+	checkpoint string
 }
 
-// runSweep executes the cartesian grid through mpic.Runner.Sweep and
-// prints one markdown table.
+// spec fingerprints the grid-defining flags; a checkpoint written under
+// a different spec must not be merged into this grid.
+func (f sweepFlags) spec() string {
+	return fmt.Sprintf("topology=%s workload=%s rounds=%d noise=%s n=%s schemes=%s rates=%s trials=%d seed=%d iterfactor=%d",
+		f.topology, f.workload, f.rounds, f.noise, f.n, f.schemes, f.rates, f.trials, f.seed, f.iterFactor)
+}
+
+// sweepCheckpoint is the on-disk resume state of a grid: the flag
+// fingerprint plus every completed cell. Cells are keyed by their
+// (n, scheme, rate) identity, never by position, so a resumed run merges
+// correctly whatever order the engine completed them in.
+type sweepCheckpoint struct {
+	Spec  string
+	Cells []mpic.SweepCell
+}
+
+// runSweep executes the cartesian grid through the streaming parallel
+// engine, printing one markdown row per cell as it completes and — when
+// a checkpoint file is configured — persisting every finished cell so an
+// interrupted grid resumes instead of restarting.
 func runSweep(w io.Writer, f sweepFlags) error {
 	ns, err := parseInts(f.n)
 	if err != nil {
@@ -249,35 +285,130 @@ func runSweep(w io.Writer, f sweepFlags) error {
 		Schemes:  schemes,
 		Trials:   f.trials,
 		SeedStep: 7907,
+		Workers:  f.parallel,
 	}
 	if base.Noise != nil {
 		sw.Rates = rates
 	}
-	runner := mpic.NewRunner()
-	defer runner.Close()
-	cells, err := runner.Sweep(context.Background(), sw)
+	grid, err := sw.Grid()
 	if err != nil {
 		return err
 	}
-	t := &experiments.Table{
-		ID:    "SWEEP",
-		Title: fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.workload, base.Topology.Name, f.noise),
-		Header: []string{"n", "scheme", "noise rate", "success", "mean blowup",
-			"mean iterations", "corruptions"},
+
+	ckpt := sweepCheckpoint{Spec: f.spec()}
+	var restored []mpic.SweepCell
+	if f.checkpoint != "" {
+		restored, err = loadCheckpoint(f.checkpoint, ckpt.Spec, &grid)
+		if err != nil {
+			return err
+		}
+		ckpt.Cells = restored
 	}
-	for _, c := range cells {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(c.N),
-			c.Scheme.String(),
-			fmt.Sprintf("%g", c.Rate),
-			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
-			fmt.Sprintf("%.1f", c.MeanBlowup()),
-			fmt.Sprintf("%.0f", c.MeanIterations()),
-			fmt.Sprint(c.Corruptions),
-		})
+
+	// Stream the table: title and header up front, one row per cell the
+	// moment it completes (restored cells first). Row order under
+	// -parallel is completion order; the n/scheme/rate columns are the
+	// row identity, exactly like the checkpoint keys.
+	title := fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.workload, base.Topology.Name, f.noise)
+	header := []string{"n", "scheme", "noise rate", "success", "mean blowup",
+		"mean iterations", "corruptions"}
+	fmt.Fprintf(w, "### SWEEP — %s\n\n", title)
+	fmt.Fprintln(w, "| "+strings.Join(header, " | ")+" |")
+	fmt.Fprintln(w, "|"+strings.Repeat("---|", len(header)))
+	for _, c := range restored {
+		fmt.Fprintln(w, sweepRow(c))
 	}
-	fmt.Fprintln(w, t.Markdown())
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	err = runner.RunGrid(context.Background(), grid, func(res mpic.GridCellResult) {
+		// The engine serializes sink calls, so printing and rewriting the
+		// checkpoint here is race-free even under -parallel.
+		fmt.Fprintln(w, sweepRow(res.Cell))
+		if f.checkpoint == "" {
+			return
+		}
+		ckpt.Cells = append(ckpt.Cells, res.Cell)
+		if werr := writeCheckpoint(f.checkpoint, ckpt); werr != nil {
+			fmt.Fprintf(os.Stderr, "mpicbench: checkpoint: %v\n", werr)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if len(restored) > 0 {
+		fmt.Fprintf(w, "*restored %d of %d cells from %s*\n", len(restored), len(restored)+len(grid.Cells), f.checkpoint)
+	}
 	return nil
+}
+
+// sweepRow formats one completed cell as a markdown table row.
+func sweepRow(c mpic.SweepCell) string {
+	return "| " + strings.Join([]string{
+		fmt.Sprint(c.N),
+		c.Scheme.String(),
+		fmt.Sprintf("%g", c.Rate),
+		fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+		fmt.Sprintf("%.1f", c.MeanBlowup()),
+		fmt.Sprintf("%.0f", c.MeanIterations()),
+		fmt.Sprint(c.Corruptions),
+	}, " | ") + " |"
+}
+
+// loadCheckpoint reads a prior checkpoint, validates its spec against
+// this grid's, and removes every already-completed cell from the grid
+// (matched by (n, scheme, rate) key, duplicates counted). It returns the
+// restored cells; a missing file is an empty checkpoint.
+func loadCheckpoint(path, spec string, grid *mpic.Grid) ([]mpic.SweepCell, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
+	}
+	var ckpt sweepCheckpoint
+	if err := json.Unmarshal(data, &ckpt); err != nil {
+		return nil, fmt.Errorf("parsing checkpoint %s: %w", path, err)
+	}
+	if ckpt.Spec != spec {
+		return nil, fmt.Errorf("checkpoint %s was written by a different grid (%q); delete it or match the flags (%q)", path, ckpt.Spec, spec)
+	}
+	have := make(map[mpic.GridKey][]mpic.SweepCell, len(ckpt.Cells))
+	for _, c := range ckpt.Cells {
+		key := mpic.GridKey{N: c.N, Scheme: c.Scheme, Rate: c.Rate}
+		have[key] = append(have[key], c)
+	}
+	var restored []mpic.SweepCell
+	remaining := grid.Cells[:0]
+	for _, cell := range grid.Cells {
+		if done := have[cell.Key]; len(done) > 0 {
+			// Duplicate grid keys consume distinct checkpoint entries (a
+			// repeated -sweep-n value produces bit-identical cells, but the
+			// bookkeeping should not rely on that).
+			restored = append(restored, done[0])
+			have[cell.Key] = done[1:]
+			continue
+		}
+		remaining = append(remaining, cell)
+	}
+	grid.Cells = remaining
+	return restored, nil
+}
+
+// writeCheckpoint atomically replaces the checkpoint file with the
+// completed cells so far (a crash mid-write must not corrupt the resume
+// state it exists to provide).
+func writeCheckpoint(path string, ckpt sweepCheckpoint) error {
+	data, err := json.MarshalIndent(ckpt, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -154,3 +154,125 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// sweepTestFlags mirrors the flag defaults of run() for direct runSweep
+// calls (which let tests capture the streamed output).
+func sweepTestFlags(checkpoint string) sweepFlags {
+	return sweepFlags{
+		workload: "random", noise: "random",
+		n: "4", schemes: "A", rates: "0,0.001",
+		iterFactor: 10, trials: 1, seed: 1, ratesSet: true,
+		parallel: 1, checkpoint: checkpoint,
+	}
+}
+
+// rowLines extracts the markdown data rows from a streamed sweep output.
+func rowLines(out string) []string {
+	var rows []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| ") && !strings.HasPrefix(line, "| n |") {
+			rows = append(rows, line)
+		}
+	}
+	return rows
+}
+
+// TestSweepCheckpointResume pins the resumable-grid contract: a partial
+// checkpoint restores its cells without re-running them, the engine
+// executes only the missing cells, and the merged output matches a fresh
+// full run row for row.
+func TestSweepCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+
+	// A complete run: every cell lands in the checkpoint.
+	var fresh strings.Builder
+	if err := runSweep(&fresh, sweepTestFlags(full)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt struct {
+		Spec  string
+		Cells []json.RawMessage
+	}
+	if err := json.Unmarshal(data, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Spec == "" || len(ckpt.Cells) != 2 {
+		t.Fatalf("full checkpoint has spec %q and %d cells, want 2", ckpt.Spec, len(ckpt.Cells))
+	}
+
+	// Simulate an interruption: drop the second cell and resume.
+	partial := filepath.Join(dir, "partial.json")
+	truncated, err := json.Marshal(struct {
+		Spec  string
+		Cells []json.RawMessage
+	}{ckpt.Spec, ckpt.Cells[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(partial, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := runSweep(&resumed, sweepTestFlags(partial)); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !strings.Contains(resumed.String(), "restored 1 of 2 cells") {
+		t.Fatalf("resume output missing restore note:\n%s", resumed.String())
+	}
+	freshRows, resumedRows := rowLines(fresh.String()), rowLines(resumed.String())
+	if len(resumedRows) != len(freshRows) {
+		t.Fatalf("resumed run printed %d rows, fresh run %d", len(resumedRows), len(freshRows))
+	}
+	for i := range freshRows {
+		if freshRows[i] != resumedRows[i] {
+			t.Errorf("row %d differs after resume:\nfresh:   %s\nresumed: %s", i, freshRows[i], resumedRows[i])
+		}
+	}
+	// The resumed run completed the checkpoint back to all cells.
+	data, err = os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpt.Cells) != 2 {
+		t.Fatalf("resumed checkpoint has %d cells, want 2", len(ckpt.Cells))
+	}
+
+	// A fully checkpointed grid restores everything and runs nothing.
+	var done strings.Builder
+	if err := runSweep(&done, sweepTestFlags(partial)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(done.String(), "restored 2 of 2 cells") {
+		t.Fatalf("complete checkpoint not fully restored:\n%s", done.String())
+	}
+
+	// A checkpoint written by different grid flags must be rejected, not
+	// silently merged.
+	other := sweepTestFlags(partial)
+	other.rates = "0,0.002"
+	if err := runSweep(io.Discard, other); err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("mismatched checkpoint spec accepted: %v", err)
+	}
+}
+
+// TestRunSweepParallelAndCheckpointFlags exercises the new flags through
+// the real flag parser.
+func TestRunSweepParallelAndCheckpointFlags(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if err := run([]string{"-sweep", "-sweep-n", "4", "-sweep-schemes", "A",
+		"-sweep-rates", "0,0.001", "-trials", "1", "-sweep-iterfactor", "10",
+		"-parallel", "2", "-sweep-checkpoint", ck}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+}

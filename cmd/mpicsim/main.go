@@ -9,6 +9,13 @@
 // Example:
 //
 //	mpicsim -topology line -n 6 -scheme A -noise random -rate 0.002
+//
+// With -trials above 1 the scenario is re-run at that many consecutive
+// seeds through the streaming grid engine (one line per trial as it
+// completes, then the aggregate); -workers bounds the concurrent trials.
+// Results are bit-identical at any worker count.
+//
+//	mpicsim -topology line -n 6 -noise random -rate 0.002 -trials 20 -workers 4
 package main
 
 import (
@@ -48,6 +55,8 @@ func run(args []string) error {
 		observe  = fs.Bool("observe", false, "stream per-iteration progress to stderr (an mpic.Observer sink)")
 		asJSON   = fs.Bool("json", false, "print the result as JSON")
 		doTrace  = fs.Bool("trace", false, "print the per-iteration potential trace")
+		trials   = fs.Int("trials", 1, "independent seeds to run (above 1: streamed through the grid engine)")
+		workers  = fs.Int("workers", 0, "concurrent trials when -trials > 1 (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +88,12 @@ func run(args []string) error {
 	}
 	runner := mpic.NewRunner()
 	defer runner.Close()
+	if *trials > 1 {
+		if *doTrace {
+			return fmt.Errorf("-trace reads one run's trajectory; it does not combine with -trials %d", *trials)
+		}
+		return runTrials(runner, sc, *trials, *workers, *asJSON)
+	}
 	res, err := runner.Run(context.Background(), sc)
 	if err != nil {
 		return err
@@ -90,6 +105,50 @@ func run(args []string) error {
 	if *doTrace {
 		printTrace(res)
 	}
+	return nil
+}
+
+// runTrials re-runs the scenario at consecutive seeds through the
+// streaming grid engine: one single-trial cell per seed, a line per
+// trial the moment it completes, then the aggregate.
+func runTrials(runner *mpic.Runner, sc mpic.Scenario, trials, workers int, asJSON bool) error {
+	cells := make([]mpic.GridCell, trials)
+	for i := range cells {
+		s := sc
+		s.Seed = sc.Seed + int64(i)
+		cells[i] = mpic.GridCell{Scenario: s, Trials: 1}
+	}
+	agg := mpic.SweepCell{}
+	err := runner.RunGrid(context.Background(), mpic.Grid{Cells: cells, Workers: workers}, func(res mpic.GridCellResult) {
+		c := res.Cell
+		agg.Merge(c)
+		if !asJSON {
+			status := "SUCCESS"
+			if c.Successes < c.Trials {
+				status = "FAILURE"
+			}
+			fmt.Printf("trial %3d (seed %d): %s blowup=%.2f iterations=%.0f corruptions=%d\n",
+				res.Index, sc.Seed+int64(res.Index), status, c.MeanBlowup(), c.MeanIterations(), c.Corruptions)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]interface{}{
+			"trials":         agg.Trials,
+			"successes":      agg.Successes,
+			"successRate":    agg.SuccessRate(),
+			"meanBlowup":     agg.MeanBlowup(),
+			"meanIterations": agg.MeanIterations(),
+			"corruptions":    agg.Corruptions,
+			"hashCollisions": agg.Collisions,
+		})
+	}
+	fmt.Printf("aggregate: %d/%d succeeded, mean blowup %.2f, mean iterations %.0f, %d corruptions\n",
+		agg.Successes, agg.Trials, agg.MeanBlowup(), agg.MeanIterations(), agg.Corruptions)
 	return nil
 }
 

@@ -62,3 +62,20 @@ func TestParseScheme(t *testing.T) {
 		t.Error("ParseScheme accepted D")
 	}
 }
+
+// TestRunTrialsGrid exercises the multi-seed grid mode: trials stream
+// through the engine (any worker count), -trace is rejected, and the
+// JSON aggregate path works.
+func TestRunTrialsGrid(t *testing.T) {
+	if err := run([]string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-trials", "3", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-trials", "2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", "line", "-n", "4", "-trials", "2", "-trace"}); err == nil {
+		t.Error("-trace with -trials accepted")
+	}
+}

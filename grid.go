@@ -1,0 +1,243 @@
+package mpic
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// GridKey identifies one cell of a grid by its (n, scheme, rate)
+// coordinates — the explicit key streaming consumers and resumed runs
+// merge on, instead of relying on cell order.
+type GridKey struct {
+	// N is the party count of the cell's topology.
+	N int
+	// Scheme is the coding scheme the cell runs.
+	Scheme Scheme
+	// Rate is the cell's noise rate; meaningful only for grids built over
+	// a rate axis (zero otherwise).
+	Rate float64
+}
+
+// GridCell is one executable point of a Grid: a complete scenario, the
+// number of trial seeds to aggregate, and the key its aggregate is
+// reported under.
+//
+// Seed derivation is the engine's determinism anchor: trial t of a cell
+// runs at Scenario.Seed + t·SeedStep, a pure function of the cell's own
+// spec. No shared counter, RNG, or scheduling state ever feeds a run, so
+// executing the same grid sequentially, in parallel, shuffled, or across
+// a checkpoint/resume boundary produces bit-identical cells. Builders
+// that want per-cell seed diversity salt Scenario.Seed when they lay out
+// the grid (deterministically, e.g. from the cell's coordinates) — never
+// at execution time.
+type GridCell struct {
+	// Key identifies the cell's aggregate. Zero fields are filled in by
+	// the engine from the scenario — N from the topology's party count,
+	// Scheme from the scenario's scheme (AlgorithmA if that too is
+	// unset); Rate keeps whatever the builder put there.
+	Key GridKey
+	// Scenario is the cell's base scenario; Seed is re-derived per trial.
+	Scenario Scenario
+	// Trials is the number of seeds to aggregate (default 1).
+	Trials int
+	// SeedStep is the per-trial seed stride (default 1).
+	SeedStep int64
+}
+
+// Grid is a batch of scenario cells for the streaming parallel engine.
+// Cells are independent by construction (see GridCell on seed
+// derivation), which is what lets the engine hand them to a worker pool
+// without changing any result.
+type Grid struct {
+	// Cells are the grid points, in definition order.
+	Cells []GridCell
+	// Workers bounds the number of cells executing concurrently; 0 means
+	// GOMAXPROCS, 1 forces sequential execution. Results are identical
+	// either way — only wall-clock and completion order change.
+	Workers int
+	// KeepResults retains every trial's full *Result on the streamed
+	// GridCellResult — for consumers that need per-run detail (potential
+	// trajectories, round counts) beyond the SweepCell aggregate. Off by
+	// default: a long grid's Results would otherwise pin every
+	// transcript's metrics in memory.
+	KeepResults bool
+}
+
+// GridCellResult is one completed cell, streamed to the sink as soon as
+// its trials finish — before the rest of the grid completes.
+type GridCellResult struct {
+	// Index is the cell's position in Grid.Cells (completion order is
+	// nondeterministic under parallelism; Index and Key are not).
+	Index int
+	// Key is the cell's identity, echoed (or derived) from the spec.
+	Key GridKey
+	// Cell is the aggregate over the cell's trials.
+	Cell SweepCell
+	// Results holds the per-trial results when Grid.KeepResults is set,
+	// in trial order; nil otherwise.
+	Results []*Result
+}
+
+// GridSink receives completed cells. The engine serializes calls (one
+// sink invocation at a time, happens-before ordered), so a sink may
+// write to shared state without its own locking; it must not block for
+// long, since a blocked sink stalls the worker that completed the cell.
+type GridSink func(GridCellResult)
+
+// RunGrid executes every cell of the grid on a worker pool and streams
+// each completed cell through sink (which may be nil). It returns after
+// the whole grid finishes, the context is cancelled, or a cell fails —
+// whichever comes first; on error, cells already streamed remain valid
+// and the rest are abandoned.
+//
+// Parallel execution is result-identical to sequential: each cell's
+// trials depend only on the cell spec (see GridCell), and the Runner's
+// arena is safe for concurrent draws. Scenario state shared between
+// cells — Observers, a Tune closure mutating captured state — must be
+// safe for concurrent use when Workers > 1.
+func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
+	if len(g.Cells) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(g.Cells) {
+		workers = len(g.Cells)
+	}
+
+	// Cancelling the derived context on the first error stops the other
+	// workers at their next run boundary without racing the caller's ctx.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next      atomic.Int64 // next cell index to claim
+		mu        sync.Mutex   // serializes sink calls and firstErr
+		firstErr  error
+		completed int
+		wg        sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(g.Cells) || ctx.Err() != nil {
+					return
+				}
+				res, err := r.runGridCell(ctx, g.Cells[i], i, g.KeepResults)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+					mu.Unlock()
+					return
+				}
+				completed++
+				if sink != nil {
+					sink(res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if completed == len(g.Cells) {
+		// Every cell ran and streamed; a cancellation that landed after
+		// the last one must not make the caller discard a complete grid.
+		return nil
+	}
+	return ctx.Err()
+}
+
+// CollectGrid is RunGrid buffered into a slice: it runs the grid and
+// returns the completed cells in definition order. Use RunGrid directly
+// when you want the cells as they finish.
+func (r *Runner) CollectGrid(ctx context.Context, g Grid) ([]GridCellResult, error) {
+	out := make([]GridCellResult, len(g.Cells))
+	err := r.RunGrid(ctx, g, func(res GridCellResult) {
+		out[res.Index] = res
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// key resolves the cell's identity, deriving unset fields from the
+// scenario so a partial key never mislabels results (a key claiming
+// AlgorithmA while the scenario ran AlgorithmB would poison every
+// key-based merge downstream).
+func (c GridCell) key() GridKey {
+	k := c.Key
+	if k.N == 0 {
+		k.N = c.Scenario.partyCount(c.Scenario.Topology)
+	}
+	if k.Scheme == 0 {
+		k.Scheme = c.Scenario.Scheme
+	}
+	if k.Scheme == 0 {
+		k.Scheme = AlgorithmA
+	}
+	return k
+}
+
+// runGridCell executes one cell's trials and aggregates them.
+func (r *Runner) runGridCell(ctx context.Context, cell GridCell, index int, keep bool) (GridCellResult, error) {
+	key := cell.key()
+	trials := cell.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	step := cell.SeedStep
+	if step == 0 {
+		step = 1
+	}
+	out := GridCellResult{
+		Index: index,
+		Key:   key,
+		Cell:  SweepCell{N: key.N, Scheme: key.Scheme, Rate: key.Rate},
+	}
+	agg := &out.Cell
+	for trial := 0; trial < trials; trial++ {
+		sc := cell.Scenario
+		sc.Seed = cell.Scenario.Seed + int64(trial)*step
+		res, err := r.Run(ctx, sc)
+		if err != nil {
+			return out, fmt.Errorf("grid cell n=%d scheme=%v rate=%g trial=%d: %w",
+				key.N, key.Scheme, key.Rate, trial, err)
+		}
+		agg.Trials++
+		if res.Success {
+			agg.Successes++
+		}
+		agg.Blowups = append(agg.Blowups, res.Blowup)
+		agg.Iterations = append(agg.Iterations, float64(res.Iterations))
+		agg.Corruptions += res.Metrics.TotalCorruptions()
+		agg.Collisions += res.Metrics.HashCollisions
+		agg.BrokenSeedLinks += res.BrokenSeedLinks
+		if res.WhiteBox != nil {
+			agg.WhiteBox.Tried += res.WhiteBox.Tried
+			agg.WhiteBox.Landed += res.WhiteBox.Landed
+		}
+		if keep {
+			out.Results = append(out.Results, res)
+		}
+	}
+	return out, nil
+}

@@ -98,6 +98,12 @@ type Result struct {
 	// WhiteBox reports the collision attacker's statistics when
 	// WhiteBoxRate was set.
 	WhiteBox *WhiteBoxStats
+	// Arena reports this run's draw on the shared arena's buffer pool
+	// (nil when the run had no arena). The counters are the arena-wide
+	// delta between run start and end: exact when runs use the arena one
+	// at a time, and an interleaved attribution when a parallel grid
+	// shares the arena — use Arena.Stats for exact aggregates there.
+	Arena *ArenaStats
 }
 
 // Run executes the coding scheme on a noisy network and checks the
@@ -182,6 +188,12 @@ func Run(opts Options) (*Result, error) {
 	}
 	e.lay = lay
 
+	var arenaStart ArenaStats
+	if opts.Arena != nil {
+		// Party construction below is where the run draws its pooled
+		// buffers; snapshot first so Result.Arena is the run's own delta.
+		arenaStart = opts.Arena.Stats()
+	}
 	parties := make([]network.Party, g.N())
 	coreParties := make([]*party, g.N())
 	for i := 0; i < g.N(); i++ {
@@ -309,6 +321,10 @@ func Run(opts Options) (*Result, error) {
 	}
 	if whitebox != nil {
 		res.WhiteBox = &WhiteBoxStats{Tried: whitebox.Tried, Landed: whitebox.Landed}
+	}
+	if opts.Arena != nil {
+		delta := opts.Arena.Stats().Sub(arenaStart)
+		res.Arena = &delta
 	}
 	for _, o := range opts.Observers {
 		if eo, ok := o.(RunEndObserver); ok {

@@ -243,8 +243,8 @@ func (e *env) bindSource(ls *linkState, src hashing.SeedSource) {
 	ls.ck = hashing.NewBlockCacheIn(pool, e.hash, src, 1)
 	if e.params.IncrementalHash {
 		bits := ls.T.Bits()
-		ls.p1 = hashing.NewCheckpointed(e.hash, src, e.seedLay.StableOffset(hashing.SlotMP1), bits, e.seedHintWords, 0)
-		ls.p2 = hashing.NewCheckpointed(e.hash, src, e.seedLay.StableOffset(hashing.SlotMP2), bits, e.seedHintWords, 0)
+		ls.p1 = hashing.NewCheckpointedIn(pool, e.hash, src, e.seedLay.StableOffset(hashing.SlotMP1), bits, e.seedHintWords, 0)
+		ls.p2 = hashing.NewCheckpointedIn(pool, e.hash, src, e.seedLay.StableOffset(hashing.SlotMP2), bits, e.seedHintWords, 0)
 	} else {
 		ls.c1 = hashing.NewBlockCacheIn(pool, e.hash, src, e.seedHintWords)
 		ls.c2 = hashing.NewBlockCacheIn(pool, e.hash, src, e.seedHintWords)

@@ -24,15 +24,21 @@ func CollisionAttack(cfg Config) (*Table, error) {
 		Header: []string{"τ (hash bits)", "slots inspected", "collisions landed",
 			"hit rate", "success", "mean blowup"},
 	}
-	for _, tau := range []int{2, 4, 8, 16} {
+	taus := []int{2, 4, 8, 16}
+	cells := make([]mpic.GridCell, len(taus))
+	for i, tau := range taus {
 		tau := tau
 		base := cellScenario(core.Alg1, g, nil, cfg, iterBudget(cfg))
 		base.WhiteBoxRate = 0.02
 		base.Tune = func(p *mpic.Params) { p.HashBits = tau }
-		c, err := sweepCell(base, cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = gridCell(base, cfg)
+	}
+	results, err := runGrid(cells, false)
+	if err != nil {
+		return nil, err
+	}
+	for i, tau := range taus {
+		c := results[i].Cell
 		rate := 0.0
 		if c.WhiteBox.Tried > 0 {
 			rate = float64(c.WhiteBox.Landed) / float64(c.WhiteBox.Tried)

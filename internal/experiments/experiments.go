@@ -4,10 +4,13 @@
 // (potential growth, hash-collision bounds, rewind-wave latency,
 // δ-biased seeding, randomness-exchange protection).
 //
-// Every coded run goes through the public Scenario/Runner API: a single
-// package-wide mpic.Runner executes the cells, so successive tables reuse
-// the per-link hash buffers, and each measured cell is an mpic.Sweep grid
-// point — the same code path external users batch experiments with.
+// Every coded run goes through the public Scenario/Runner API: each
+// experiment declares its measured cells as mpic.GridCell specs and a
+// single package-wide mpic.Runner executes them through the streaming
+// parallel grid engine (Runner.RunGrid) — the same code path external
+// users batch experiments with. One arena serves the whole package, so
+// successive tables reuse the per-link hash buffers, and per-figure code
+// reduces to cell specs plus row formatting.
 package experiments
 
 import (
@@ -158,30 +161,54 @@ func fromSweep(c mpic.SweepCell) cell {
 	}
 }
 
-// sweepCell executes one grid point (Trials seeds of base) through the
-// shared runner and returns the aggregate.
-func sweepCell(base mpic.Scenario, cfg Config) (mpic.SweepCell, error) {
-	cells, err := sharedRunner.Sweep(context.Background(), mpic.Sweep{
-		Base:     base,
-		Trials:   cfg.trials(),
-		SeedStep: trialSeedStep,
-	})
-	if err != nil {
-		return mpic.SweepCell{}, err
-	}
-	return cells[0], nil
+// gridCell wraps a scenario as one measured grid point: cfg.trials()
+// seeds at the harness's historical per-trial stride.
+func gridCell(base mpic.Scenario, cfg Config) mpic.GridCell {
+	return mpic.GridCell{Scenario: base, Trials: cfg.trials(), SeedStep: trialSeedStep}
 }
 
-// runCell executes `trials` runs of a scheme under the given noise and
-// aggregates success and blowup.
-func runCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float64, cfg Config, iterFactor int) (cell, error) {
+// oneShot wraps a scenario as a single-run grid point (trial 0 only) —
+// the cells of experiments that inspect one run's trajectory.
+func oneShot(base mpic.Scenario) mpic.GridCell {
+	return mpic.GridCell{Scenario: base, Trials: 1, SeedStep: trialSeedStep}
+}
+
+// noiseCell builds the standard measured cell — a scheme over a topology
+// under a registered noise model at a rate.
+func noiseCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float64, cfg Config, iterFactor int) (mpic.GridCell, error) {
 	noise, err := mpic.Noise(noiseKind, rate)
 	if err != nil {
-		return cell{}, err
+		return mpic.GridCell{}, err
 	}
-	c, err := sweepCell(cellScenario(scheme, g, noise, cfg, iterFactor), cfg)
+	return gridCell(cellScenario(scheme, g, noise, cfg, iterFactor), cfg), nil
+}
+
+// runGrid executes an experiment's cells as one grid on the shared
+// runner's streaming engine and returns the completed cells in
+// definition order. keep retains each trial's full result (for
+// experiments that read per-run trajectories such as the potential or
+// the round count).
+//
+// Workers is pinned to 1: the tables' ElapsedMS feeds the `-compare`
+// wall-clock regression gate, and parallel cell execution would make
+// those timings incomparable across artefacts (a real per-run slowdown
+// could hide behind a multicore speedup). The engine's parallelism is
+// exercised by the CLIs and the grid tests; lifting this pin needs the
+// artefact to record its worker count first (see ROADMAP).
+func runGrid(cells []mpic.GridCell, keep bool) ([]mpic.GridCellResult, error) {
+	return sharedRunner.CollectGrid(context.Background(), mpic.Grid{Cells: cells, Workers: 1, KeepResults: keep})
+}
+
+// runCells is runGrid for experiments that only need the per-cell
+// aggregates.
+func runCells(cells []mpic.GridCell) ([]cell, error) {
+	results, err := runGrid(cells, false)
 	if err != nil {
-		return cell{}, err
+		return nil, err
 	}
-	return fromSweep(c), nil
+	out := make([]cell, len(results))
+	for i, r := range results {
+		out[i] = fromSweep(r.Cell)
+	}
+	return out, nil
 }

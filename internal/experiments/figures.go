@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"mpic"
 	"mpic/internal/core"
 	"mpic/internal/graph"
 	"mpic/internal/stats"
@@ -29,27 +30,43 @@ func NoiseSweep(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		multipliers = []float64{0, 0.005, 0.02}
 	}
-	type sweep struct {
+	// The grid: schemes × multipliers, one row per cell.
+	type rowSpec struct {
+		scheme core.Scheme
+		kind   string
+		mult   float64
+	}
+	var rows []rowSpec
+	var cells []mpic.GridCell
+	for _, sw := range []struct {
 		scheme core.Scheme
 		noise  string
-	}
-	for _, sw := range []sweep{{core.AlgA, "random"}, {core.AlgB, "adaptive"}, {core.AlgC, "adaptive"}} {
+	}{{core.AlgA, "random"}, {core.AlgB, "adaptive"}, {core.AlgC, "adaptive"}} {
 		for _, mult := range multipliers {
 			kind := sw.noise
 			if mult == 0 {
 				kind = "none"
 			}
-			c, err := runCell(sw.scheme, g, kind, mult/m, cfg, iterBudget(cfg))
+			c, err := noiseCell(sw.scheme, g, kind, mult/m, cfg, iterBudget(cfg))
 			if err != nil {
 				return nil, err
 			}
-			t.Rows = append(t.Rows, []string{
-				sw.scheme.String(), kind,
-				fmt.Sprintf("%.3f", mult),
-				fmt.Sprintf("%.2f", stats.Rate(c.Successes, c.Trials)),
-				fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
-			})
+			rows = append(rows, rowSpec{sw.scheme, kind, mult})
+			cells = append(cells, c)
 		}
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		c := measured[i]
+		t.Rows = append(t.Rows, []string{
+			r.scheme.String(), r.kind,
+			fmt.Sprintf("%.3f", r.mult),
+			fmt.Sprintf("%.2f", stats.Rate(c.Successes, c.Trials)),
+			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
+		})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("n=%d, m=%d; success should stay high for small multipliers and degrade as ε grows", n, g.M()))
 	return t, nil
@@ -69,6 +86,14 @@ func RateVsSize(cfg Config) (*Table, error) {
 		Title:  "Communication blowup vs network size (Algorithm A, noiseless and ε/m noise)",
 		Header: []string{"topology", "n", "m", "CC(Π)", "blowup noiseless", "blowup at ε/m"},
 	}
+	// The grid: (topology, n) × {noiseless, ε/m}, two cells per row.
+	type rowSpec struct {
+		topo string
+		n    int
+		g    *graph.Graph
+	}
+	var rows []rowSpec
+	var cells []mpic.GridCell
 	for _, topo := range []string{"line", "ring", "star", "clique", "random"} {
 		for _, n := range sizes {
 			if topo == "clique" && n > 8 && cfg.Quick {
@@ -78,22 +103,31 @@ func RateVsSize(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			quiet, err := runCell(core.AlgA, g, "none", 0, cfg, iterBudget(cfg))
+			quiet, err := noiseCell(core.AlgA, g, "none", 0, cfg, iterBudget(cfg))
 			if err != nil {
 				return nil, err
 			}
-			noisy, err := runCell(core.AlgA, g, "random", 0.005/float64(g.M()), cfg, iterBudget(cfg))
+			noisy, err := noiseCell(core.AlgA, g, "random", 0.005/float64(g.M()), cfg, iterBudget(cfg))
 			if err != nil {
 				return nil, err
 			}
-			proto := workload(g, cfg.Seed, cfg.Quick)
-			t.Rows = append(t.Rows, []string{
-				topo, fmt.Sprint(n), fmt.Sprint(g.M()),
-				fmt.Sprint(proto.Schedule().TotalBits()),
-				fmt.Sprintf("%.1f", stats.Summarize(quiet.Blowups).Mean),
-				fmt.Sprintf("%.1f", stats.Summarize(noisy.Blowups).Mean),
-			})
+			rows = append(rows, rowSpec{topo, n, g})
+			cells = append(cells, quiet, noisy)
 		}
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		quiet, noisy := measured[2*i], measured[2*i+1]
+		proto := workload(r.g, cfg.Seed, cfg.Quick)
+		t.Rows = append(t.Rows, []string{
+			r.topo, fmt.Sprint(r.n), fmt.Sprint(r.g.M()),
+			fmt.Sprint(proto.Schedule().TotalBits()),
+			fmt.Sprintf("%.1f", stats.Summarize(quiet.Blowups).Mean),
+			fmt.Sprintf("%.1f", stats.Summarize(noisy.Blowups).Mean),
+		})
 	}
 	t.Notes = append(t.Notes, "constant rate: the blowup column should not trend upward with n")
 	return t, nil
@@ -111,15 +145,25 @@ func CCVsNoise(cfg Config) (*Table, error) {
 		Title:  "Communication blowup vs noise rate (Algorithm A, line n=5)",
 		Header: []string{"noise ×(1/m)", "success", "mean blowup", "mean iterations", "corruptions"},
 	}
-	for _, mult := range []float64{0, 0.002, 0.005, 0.01, 0.02} {
+	multipliers := []float64{0, 0.002, 0.005, 0.01, 0.02}
+	cells := make([]mpic.GridCell, len(multipliers))
+	for i, mult := range multipliers {
 		kind := "random"
 		if mult == 0 {
 			kind = "none"
 		}
-		c, err := runCell(core.AlgA, g, kind, mult/m, cfg, iterBudget(cfg))
+		c, err := noiseCell(core.AlgA, g, kind, mult/m, cfg, iterBudget(cfg))
 		if err != nil {
 			return nil, err
 		}
+		cells[i] = c
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mult := range multipliers {
+		c := measured[i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.3f", mult),
 			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
@@ -144,18 +188,28 @@ func Rounds(cfg Config) (*Table, error) {
 	}
 	proto := workload(g, cfg.Seed, cfg.Quick)
 	rc := proto.Schedule().Rounds()
-	for _, mult := range []float64{0, 0.005, 0.02} {
+	multipliers := []float64{0, 0.005, 0.02}
+	cells := make([]mpic.GridCell, len(multipliers))
+	for i, mult := range multipliers {
 		kind := "random"
 		if mult == 0 {
 			kind = "none"
 		}
+		c, err := noiseCell(core.AlgA, g, kind, mult/m, cfg, iterBudget(cfg))
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = c
+	}
+	// The round count lives on the per-trial results, not the aggregate:
+	// keep them.
+	results, err := runGrid(cells, true)
+	if err != nil {
+		return nil, err
+	}
+	for i, mult := range multipliers {
 		var rounds []float64
-		trials := cfg.trials()
-		for trial := 0; trial < trials; trial++ {
-			res, err := runOnce(core.AlgA, g, kind, mult/m, cfg, trial)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results[i].Results {
 			rounds = append(rounds, float64(res.Metrics.Rounds))
 		}
 		mean := stats.Summarize(rounds).Mean

@@ -26,6 +26,15 @@ func FullyUtilizedCost(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{4, 6}
 	}
+	// The grid: per ring size, the sparse protocol and its fully-utilized
+	// conversion, coded by the same scheme.
+	type rowSpec struct {
+		n          int
+		sparseBits int
+		fuBits     int
+	}
+	var rows []rowSpec
+	var cells []mpic.GridCell
 	for _, n := range sizes {
 		laps := 6
 		ring, err := protocol.NewTokenRing(n, laps, protocol.DefaultInputs(n, 4, cfg.Seed))
@@ -33,44 +42,46 @@ func FullyUtilizedCost(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		fu := protocol.NewFullyUtilized(ring)
-		sparseBits := ring.Schedule().TotalBits()
-		fuBits := fu.Schedule().TotalBits()
-
-		// Blowups relative to the ORIGINAL sparse protocol: the
-		// fully-utilized conversion's padding is pure overhead, so the fu
-		// cell's CC/CC(fu) blowup is rescaled by CC(fu)/CC(Π).
-		var sparseBlow, fuBlow []float64
-		for i, proto := range []protocol.Protocol{ring, fu} {
-			base := mpic.Scenario{
+		rows = append(rows, rowSpec{n: n, sparseBits: ring.Schedule().TotalBits(), fuBits: fu.Schedule().TotalBits()})
+		for _, proto := range []protocol.Protocol{ring, fu} {
+			cells = append(cells, gridCell(mpic.Scenario{
 				Workload:   mpic.UseProtocol(proto),
 				Scheme:     mpic.AlgorithmA,
 				Seed:       cfg.Seed,
 				IterFactor: iterBudget(cfg),
-			}
-			c, err := sweepCell(base, cfg)
-			if err != nil {
-				return nil, err
-			}
+			}, cfg))
+		}
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		// Blowups relative to the ORIGINAL sparse protocol: the
+		// fully-utilized conversion's padding is pure overhead, so the fu
+		// cell's CC/CC(fu) blowup is rescaled by CC(fu)/CC(Π).
+		var sparseBlow, fuBlow []float64
+		for v, c := range []cell{measured[2*i], measured[2*i+1]} {
 			if c.Successes < c.Trials {
-				t.Notes = append(t.Notes, fmt.Sprintf("n=%d variant %d: %d/%d trials FAILED", n, i, c.Trials-c.Successes, c.Trials))
+				t.Notes = append(t.Notes, fmt.Sprintf("n=%d variant %d: %d/%d trials FAILED", r.n, v, c.Trials-c.Successes, c.Trials))
 			}
 			scale := 1.0
-			if i == 1 {
-				scale = float64(fuBits) / float64(sparseBits)
+			if v == 1 {
+				scale = float64(r.fuBits) / float64(r.sparseBits)
 			}
 			for _, blow := range c.Blowups {
-				if i == 0 {
+				if v == 0 {
 					sparseBlow = append(sparseBlow, blow*scale)
 				} else {
 					fuBlow = append(fuBlow, blow*scale)
 				}
 			}
 		}
-		g := graph.Ring(n)
+		g := graph.Ring(r.n)
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), fmt.Sprint(g.M()),
-			fmt.Sprint(sparseBits), fmt.Sprint(fuBits),
-			fmt.Sprintf("%.0fx", float64(fuBits)/float64(sparseBits)),
+			fmt.Sprint(r.n), fmt.Sprint(g.M()),
+			fmt.Sprint(r.sparseBits), fmt.Sprint(r.fuBits),
+			fmt.Sprintf("%.0fx", float64(r.fuBits)/float64(r.sparseBits)),
 			fmt.Sprintf("%.1f", stats.Summarize(sparseBlow).Mean),
 			fmt.Sprintf("%.1f", stats.Summarize(fuBlow).Mean),
 		})

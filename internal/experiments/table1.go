@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mpic"
 	"mpic/internal/baseline"
 	"mpic/internal/core"
 	"mpic/internal/graph"
@@ -65,11 +66,20 @@ func Table1(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		iterFactor = 30
 	}
-	for _, r := range rows {
-		c, err := runCell(r.scheme, g, r.noiseKind, r.rate, cfg, iterFactor)
+	cells := make([]mpic.GridCell, len(rows))
+	for i, r := range rows {
+		c, err := noiseCell(r.scheme, g, r.noiseKind, r.rate, cfg, iterFactor)
 		if err != nil {
 			return nil, err
 		}
+		cells[i] = c
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		c := measured[i]
 		t.Rows = append(t.Rows, []string{
 			r.scheme.String(), r.level, r.ntype,
 			fmt.Sprintf("%d/%d", c.Successes, c.Trials),

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"mpic"
@@ -13,17 +12,6 @@ import (
 	"mpic/internal/stats"
 	"mpic/internal/trace"
 )
-
-// runOnce executes a single trial of a scheme under noise.
-func runOnce(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float64, cfg Config, trial int) (*core.Result, error) {
-	noise, err := mpic.Noise(noiseKind, rate)
-	if err != nil {
-		return nil, err
-	}
-	sc := cellScenario(scheme, g, noise, cfg, iterBudget(cfg))
-	sc.Seed = cfg.Seed + int64(trial)*trialSeedStep
-	return sharedRunner.Run(context.Background(), sc)
-}
 
 // simBitDeleter deletes the first `cap` payload bits on one link during
 // simulation phases — a minimal, surgically placed attack.
@@ -60,24 +48,25 @@ func RewindWave(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{4, 6}
 	}
+	// The grid: per line length, one clean and one single-deletion run.
+	var cells []mpic.GridCell
 	for _, n := range sizes {
-		g := graph.Line(n)
-		base := cellScenario(core.AlgA, g, nil, cfg, iterBudget(cfg))
-
-		clean, err := sharedRunner.Run(context.Background(), base)
-		if err != nil {
-			return nil, err
-		}
+		base := cellScenario(core.AlgA, graph.Line(n), nil, cfg, iterBudget(cfg))
 		noisy := base
 		noisy.Noise = mpic.NoiseFunc("sim-bit-deleter", func(env mpic.NoiseEnv) (mpic.WiredNoise, error) {
 			return mpic.WiredNoise{Factory: func(info mpic.RunInfo) mpic.Adversary {
 				return &simBitDeleter{oracle: info.PhaseOracle, target: channel.Link{From: 0, To: 1}, cap: 1}
 			}}, nil
 		})
-		noisyRes, err := sharedRunner.Run(context.Background(), noisy)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, oneShot(base), oneShot(noisy))
+	}
+	results, err := runGrid(cells, true)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		clean := results[2*i].Results[0]
+		noisyRes := results[2*i+1].Results[0]
 		status := ""
 		if !noisyRes.Success {
 			status = " FAILED"
@@ -106,21 +95,32 @@ func PotentialGrowth(cfg Config) (*Table, error) {
 		Title:  "Per-iteration potential change (Algorithm A, line n=5)",
 		Header: []string{"noise ×(1/m)", "iterations", "min Δφ/K", "mean Δφ/K", "fraction Δφ ≥ K"},
 	}
-	for _, mult := range []float64{0, 0.005, 0.02} {
+	multipliers := []float64{0, 0.005, 0.02}
+	cells := make([]mpic.GridCell, len(multipliers))
+	for i, mult := range multipliers {
 		kind := "random"
 		if mult == 0 {
 			kind = "none"
 		}
-		res, err := runOnce(core.AlgA, g, kind, mult/m, cfg, 0)
+		noise, err := mpic.Noise(kind, mult/m)
 		if err != nil {
 			return nil, err
 		}
+		cells[i] = oneShot(cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg)))
+	}
+	// The potential trajectory lives on the per-run result: keep them.
+	results, err := runGrid(cells, true)
+	if err != nil {
+		return nil, err
+	}
+	for i, mult := range multipliers {
+		res := results[i].Results[0]
 		k := float64(core.ParamsFor(core.AlgA, g).ChunkBits) / 5
 		var deltas []float64
 		atLeastK := 0
 		var prev float64
-		for i, snap := range res.Potential {
-			if i > 0 {
+		for j, snap := range res.Potential {
+			if j > 0 {
 				d := (snap.Phi - prev) / k
 				deltas = append(deltas, d)
 				if d >= 1-1e-9 {
@@ -156,15 +156,25 @@ func Collisions(cfg Config) (*Table, error) {
 		Title:  "Observed hash collisions vs the O(ε·|Π|) envelope (Algorithm A)",
 		Header: []string{"noise ×(1/m)", "corruptions", "collisions (oracle)", "|Π| chunks", "collisions/|Π|"},
 	}
-	for _, mult := range []float64{0, 0.005, 0.02, 0.05} {
+	multipliers := []float64{0, 0.005, 0.02, 0.05}
+	cells := make([]mpic.GridCell, len(multipliers))
+	for i, mult := range multipliers {
 		kind := "random"
 		if mult == 0 {
 			kind = "none"
 		}
-		c, err := runCell(core.AlgA, g, kind, mult/m, cfg, iterBudget(cfg))
+		c, err := noiseCell(core.AlgA, g, kind, mult/m, cfg, iterBudget(cfg))
 		if err != nil {
 			return nil, err
 		}
+		cells[i] = c
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mult := range multipliers {
+		c := measured[i]
 		proto := workload(g, cfg.Seed, cfg.Quick)
 		params := core.ParamsFor(core.AlgA, g)
 		chunks := proto.Schedule().TotalBits()/params.ChunkBits + 1
@@ -205,22 +215,27 @@ func Ablation(cfg Config) (*Table, error) {
 		{"no flag passing", true, false},
 		{"no rewind phase", false, true},
 	}
-	for _, v := range variants {
+	cells := make([]mpic.GridCell, len(variants))
+	for i, v := range variants {
 		v := v
 		base := cellScenario(core.AlgA, g, mpic.RandomNoise(rate), cfg, iterBudget(cfg))
 		base.Tune = func(p *mpic.Params) {
 			p.DisableFlagPassing = v.noFlag
 			p.DisableRewind = v.noRewind
 		}
-		c, err := sweepCell(base, cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = gridCell(base, cfg)
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		c := measured[i]
 		t.Rows = append(t.Rows, []string{
 			v.name,
 			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
 			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
-			fmt.Sprintf("%.0f", stats.Summarize(c.Iterations).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(c.Iters).Mean),
 		})
 	}
 	t.Notes = append(t.Notes, "ablated variants should need more iterations/communication (or fail outright) at the same noise budget")
@@ -238,6 +253,12 @@ func DeltaBias(cfg Config) (*Table, error) {
 		Title:  "δ-biased (AGHP) vs PRF seed expansion (Algorithm A, line n=4)",
 		Header: []string{"seed expansion", "noise ×(1/m)", "success", "collisions", "mean blowup"},
 	}
+	type rowSpec struct {
+		name string
+		mult float64
+	}
+	var rows []rowSpec
+	var cells []mpic.GridCell
 	for _, seedKind := range []core.SeedKind{core.SeedPRF, core.SeedAGHP} {
 		name := "PRF"
 		if seedKind == core.SeedAGHP {
@@ -252,17 +273,22 @@ func DeltaBias(cfg Config) (*Table, error) {
 			base := cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg))
 			base.Workload = workloadSpec(g.N(), true /* keep AGHP runs small */)
 			base.Tune = func(p *mpic.Params) { p.SeedKind = seedKind }
-			c, err := sweepCell(base, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprintf("%.3f", mult),
-				fmt.Sprintf("%d/%d", c.Successes, c.Trials),
-				fmt.Sprint(c.Collisions),
-				fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
-			})
+			rows = append(rows, rowSpec{name, mult})
+			cells = append(cells, gridCell(base, cfg))
 		}
+	}
+	measured, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		c := measured[i]
+		t.Rows = append(t.Rows, []string{
+			r.name, fmt.Sprintf("%.3f", r.mult),
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			fmt.Sprint(c.Collisions),
+			fmt.Sprintf("%.1f", stats.Summarize(c.Blowups).Mean),
+		})
 	}
 	t.Notes = append(t.Notes, "Lemma 5.2's message: the two seed expansions should be statistically indistinguishable at this scale")
 	return t, nil
@@ -281,17 +307,23 @@ func SeedAttack(cfg Config) (*Table, error) {
 		Header: []string{"attack rate", "corruptions", "broken links", "success"},
 	}
 	target := channel.Link{From: 0, To: 1}
-	for _, rate := range []float64{0.001, 0.01, 0.1, 0.5} {
+	rates := []float64{0.001, 0.01, 0.1, 0.5}
+	cells := make([]mpic.GridCell, len(rates))
+	for i, rate := range rates {
 		rate := rate
 		noise := mpic.NoiseFunc("seed-attack", func(env mpic.NoiseEnv) (mpic.WiredNoise, error) {
 			return mpic.WiredNoise{
 				Adversary: adversary.NewSeedAttacker([]channel.Link{target}, 1<<20, rate, env.Rng),
 			}, nil
 		})
-		c, err := sweepCell(cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg)), cfg)
-		if err != nil {
-			return nil, err
-		}
+		cells[i] = gridCell(cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg)), cfg)
+	}
+	results, err := runGrid(cells, false)
+	if err != nil {
+		return nil, err
+	}
+	for i, rate := range rates {
+		c := results[i].Cell
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.3f", rate),
 			fmt.Sprint(c.Corruptions),

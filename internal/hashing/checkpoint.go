@@ -66,13 +66,22 @@ type Checkpointed struct {
 // spacing is the checkpoint interval in words (≤ 0 selects
 // DefaultCheckpointSpacing).
 func NewCheckpointed(h *InnerProductHash, src SeedSource, base uint64, x *bitstring.BitVec, hintWords, spacing int) *Checkpointed {
+	return NewCheckpointedIn(nil, h, src, base, x, hintWords, spacing)
+}
+
+// NewCheckpointedIn is NewCheckpointed drawing the seed-row and
+// checkpoint buffers from pool (nil behaves like NewCheckpointed). Hand
+// the buffers back with Release when the run is over so the next run can
+// reuse them — this is what keeps IncrementalHash sweeps from paying the
+// accumulator/checkpoint allocations per run.
+func NewCheckpointedIn(pool *BufferPool, h *InnerProductHash, src SeedSource, base uint64, x *bitstring.BitVec, hintWords, spacing int) *Checkpointed {
 	if spacing <= 0 {
 		spacing = DefaultCheckpointSpacing
 	}
 	s := &Checkpointed{
 		h:       h,
 		x:       x,
-		c:       NewBlockCache(h, src, hintWords),
+		c:       NewBlockCacheIn(pool, h, src, hintWords),
 		w:       x.AttachWatermark(),
 		spacing: spacing,
 		gen:     x.Gen(),
@@ -82,9 +91,29 @@ func NewCheckpointed(h *InnerProductHash, src SeedSource, base uint64, x *bitstr
 		hintWords = maxRow
 	}
 	if hintWords > 0 {
-		s.ck = make([]uint64, 0, (hintWords/spacing+1)*h.Tau)
+		need := (hintWords/spacing + 1) * h.Tau
+		if pool != nil {
+			s.ck = pool.Get(need)
+		} else {
+			s.ck = make([]uint64, 0, need)
+		}
 	}
 	return s
+}
+
+// Release hands the store's buffers back to pool (nil is a no-op) and
+// empties the store; it must not be used afterwards. Checkpoint contents
+// never leak between runs: a fresh store starts with zero valid
+// checkpoints and rebuilds every accumulator from its own transcript and
+// seed block before any read.
+func (s *Checkpointed) Release(pool *BufferPool) {
+	if s == nil || pool == nil {
+		return
+	}
+	s.c.Release(pool)
+	pool.Put(s.ck)
+	s.ck = nil
+	s.nck = 0
 }
 
 // Source returns the underlying seed source.

@@ -177,3 +177,59 @@ func TestStableOffsetsDisjoint(t *testing.T) {
 		t.Fatal("RegionsDisjoint must eventually report overlap for absurd budgets")
 	}
 }
+
+// TestCheckpointedPooledEquivalence pins the pooled variant of the
+// incremental store: buffers drawn from a shared BufferPool produce
+// bit-identical hashes to the private-buffer path, Release hands the
+// seed rows and checkpoint snapshots back for reuse, and a second store
+// built from the warmed pool allocates nothing fresh (all hits).
+func TestCheckpointedPooledEquivalence(t *testing.T) {
+	h := NewInnerProductHash(8, 1<<13)
+	lay := NewSeedLayout(h)
+	base := lay.StableOffset(SlotMP1)
+	pool := &BufferPool{}
+	rng := rand.New(rand.NewSource(99))
+
+	run := func(s *Checkpointed, x *bitstring.BitVec, ref SeedSource) {
+		t.Helper()
+		for step := 0; step < 30; step++ {
+			switch op := rng.Intn(8); {
+			case op < 4:
+				x.AppendUint(rng.Uint64(), 1+rng.Intn(64))
+			case op < 5 && x.Len() > 0:
+				x.Truncate(rng.Intn(x.Len() + 1))
+			default:
+				if got, want := s.HashPrefix(x.Len()), h.HashPrefix(x, x.Len(), ref, base); got != want {
+					t.Fatalf("step %d: pooled %#x != reference %#x", step, got, want)
+				}
+			}
+		}
+	}
+
+	x1 := bitstring.NewBitVec(0)
+	s1 := NewCheckpointedIn(pool, h, NewPRFSource(5, 6), base, x1, 64, 0)
+	run(s1, x1, NewPRFSource(5, 6))
+	if st := pool.Stats(); st.Hits != 0 || st.Misses == 0 {
+		t.Fatalf("cold pooled store stats %+v, want only misses", st)
+	}
+	s1.Release(pool)
+	if pool.Len() == 0 {
+		t.Fatal("Release returned no buffers to the pool")
+	}
+
+	before := pool.Stats()
+	x2 := bitstring.NewBitVec(0)
+	s2 := NewCheckpointedIn(pool, h, NewPRFSource(7, 8), base, x2, 64, 0)
+	run(s2, x2, NewPRFSource(7, 8))
+	delta := pool.Stats().Sub(before)
+	if delta.Misses != 0 || delta.Hits == 0 || delta.WordsReused == 0 {
+		t.Fatalf("warm pooled store stats %+v, want all hits", delta)
+	}
+	s2.Release(pool)
+
+	// A nil pool degrades to the private-buffer constructor.
+	x3 := bitstring.NewBitVec(0)
+	s3 := NewCheckpointedIn(nil, h, NewPRFSource(9, 10), base, x3, 64, 0)
+	run(s3, x3, NewPRFSource(9, 10))
+	s3.Release(nil) // no-op
+}

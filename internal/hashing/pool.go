@@ -18,8 +18,39 @@ import "sync"
 // concurrent use; the pool never retains more than maxPooled buffers, so
 // a pathological caller cannot leak unbounded memory through it.
 type BufferPool struct {
-	mu   sync.Mutex
-	free [][]uint64
+	mu    sync.Mutex
+	free  [][]uint64
+	stats PoolStats
+}
+
+// PoolStats counts a pool's traffic: Hits and Misses split the Get calls
+// into those served from the free list and those that had to allocate,
+// and WordsReused totals the capacity (in 64-bit words) of the reused
+// buffers. The counters are cumulative over the pool's lifetime (Reset
+// clears them) and are what makes the maxPooled bound and the best-fit
+// scan tunable from measurements instead of guesses: a steady Miss rate
+// on a warmed-up pool means the bound is too small (or the fit too
+// coarse) for the topology being swept.
+type PoolStats struct {
+	Hits        uint64
+	Misses      uint64
+	WordsReused uint64
+}
+
+// Sub returns the stats accumulated since the earlier snapshot prev.
+func (s PoolStats) Sub(prev PoolStats) PoolStats {
+	return PoolStats{
+		Hits:        s.Hits - prev.Hits,
+		Misses:      s.Misses - prev.Misses,
+		WordsReused: s.WordsReused - prev.WordsReused,
+	}
+}
+
+// Stats returns a snapshot of the pool's cumulative counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
 }
 
 // maxPooled bounds the free list. 4096 covers two prefix buffers plus a
@@ -49,9 +80,12 @@ func (p *BufferPool) Get(minCap int) []uint64 {
 		p.free[best] = p.free[last]
 		p.free[last] = nil
 		p.free = p.free[:last]
+		p.stats.Hits++
+		p.stats.WordsReused += uint64(cap(b))
 		p.mu.Unlock()
 		return b[:0]
 	}
+	p.stats.Misses++
 	p.mu.Unlock()
 	return make([]uint64, 0, minCap)
 }
@@ -70,10 +104,11 @@ func (p *BufferPool) Put(buf []uint64) {
 }
 
 // Reset drops every pooled buffer, releasing the memory to the garbage
-// collector.
+// collector, and clears the traffic counters.
 func (p *BufferPool) Reset() {
 	p.mu.Lock()
 	p.free = nil
+	p.stats = PoolStats{}
 	p.mu.Unlock()
 }
 

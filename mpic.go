@@ -33,7 +33,33 @@
 // The Runner holds per-link hash buffers across runs (batch drivers stop
 // paying per-run seed materialization), honors context cancellation, and
 // batches cartesian parameter grids through Runner.Sweep. Per-iteration
-// progress is observable by attaching an Observer to the scenario.
+// progress is observable by attaching an Observer to the scenario, and
+// per-run arena telemetry through Result.Arena (or the NewArenaLog
+// sink).
+//
+// # The grid engine
+//
+// Batch execution goes through one streaming, parallel core: a Grid is a
+// list of GridCell scenario specs, and Runner.RunGrid executes them on a
+// GOMAXPROCS-bounded worker pool, streaming each completed cell through
+// a callback the moment it finishes — a long grid reports (and can be
+// checkpointed) as it runs instead of at the end:
+//
+//	grid, _ := mpic.Sweep{Base: base, N: []int{8, 16}, Rates: rates}.Grid()
+//	err := runner.RunGrid(ctx, grid, func(res mpic.GridCellResult) {
+//	    fmt.Printf("n=%d rate=%g: %d/%d\n", res.Key.N, res.Key.Rate,
+//	        res.Cell.Successes, res.Cell.Trials)
+//	})
+//
+// Parallel execution is result-identical to sequential: every trial's
+// seed is a pure function of its cell's spec (seed salting is per-cell
+// and deterministic), so scheduling never leaks into results. Cells are
+// keyed by (n, scheme, rate) — GridKey — which is how streamed,
+// shuffled, and resumed runs merge. Runner.Sweep is the declarative
+// wrapper over the engine (axes → cells, results in definition order);
+// the experiment harness (internal/experiments) and both CLIs
+// (mpicbench -sweep, mpicsim -trials) declare cells and let the engine
+// execute them.
 //
 // Every named building block — topology family, workload, noise model —
 // lives in an open registry (RegisterTopology, RegisterWorkload,
@@ -112,6 +138,11 @@ type Params = core.Params
 // WhiteBoxStats reports the Section 6.1 collision attacker's bookkeeping
 // when Scenario.WhiteBoxRate (or core's Options.WhiteBoxRate) was set.
 type WhiteBoxStats = core.WhiteBoxStats
+
+// ArenaStats is the runner arena's buffer-pool telemetry — hits, misses,
+// and words of recycled capacity. Result.Arena carries a per-run delta;
+// NewArenaLog prints one per run.
+type ArenaStats = core.ArenaStats
 
 // Protocol is a noiseless multiparty protocol with a fixed speaking
 // order; implement it to simulate your own workloads. The aliases below

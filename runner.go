@@ -53,7 +53,9 @@ func RunScenario(ctx context.Context, sc Scenario) (*Result, error) {
 
 // Sweep describes a cartesian grid of scenarios: the base scenario is
 // re-run at every combination of the N, Schemes, and Rates axes (an
-// empty axis keeps the base value), with Trials seeds per cell.
+// empty axis keeps the base value), with Trials seeds per cell. A Sweep
+// is a declarative front end to the grid engine — Grid expands it into
+// cells, and Runner.Sweep executes it through Runner.RunGrid.
 type Sweep struct {
 	// Base is the scenario template every cell starts from.
 	Base Scenario
@@ -70,6 +72,73 @@ type Sweep struct {
 	Trials int
 	// SeedStep is the per-trial seed stride (default 1).
 	SeedStep int64
+	// Workers bounds how many cells execute concurrently (0 = GOMAXPROCS,
+	// 1 = sequential). Cell results are bit-identical at any setting.
+	Workers int
+}
+
+// Grid expands the sweep's axes into engine cells, in the nested
+// N → Schemes → Rates order Runner.Sweep has always reported, validating
+// the axes up front (an unresizable topology or an un-ratable noise spec
+// is rejected before anything runs).
+func (sw Sweep) Grid() (Grid, error) {
+	ns := sw.N
+	if len(ns) == 0 {
+		ns = []int{0} // sentinel: keep the base topology
+	}
+	schemes := sw.Schemes
+	if len(schemes) == 0 {
+		schemes = []Scheme{0} // sentinel: keep the base scheme
+	}
+	useRates := len(sw.Rates) > 0
+	rates := sw.Rates
+	if !useRates {
+		rates = []float64{0}
+	}
+	if useRates && sw.Base.Noise == nil {
+		return Grid{}, fmt.Errorf("mpic: Sweep.Rates needs Base.Noise to vary")
+	}
+	cells := make([]GridCell, 0, len(ns)*len(schemes)*len(rates))
+	for _, n := range ns {
+		topo := sw.Base.Topology
+		if n > 0 {
+			var err error
+			topo, err = topo.withN(n)
+			if err != nil {
+				return Grid{}, err
+			}
+			if topo.isZero() {
+				return Grid{}, fmt.Errorf("mpic: Sweep.N cannot resize an implicit topology (set Base.Topology to a named family; workload-provided protocols are fixed-size)")
+			}
+		}
+		for _, scheme := range schemes {
+			for _, rate := range rates {
+				sc := sw.Base
+				sc.Topology = topo
+				if scheme != 0 {
+					sc.Scheme = scheme
+				}
+				if useRates {
+					sc.Noise = sw.Base.Noise.WithRate(rate)
+					if sc.Noise == nil {
+						return Grid{}, fmt.Errorf("mpic: noise %q cannot vary its rate (WithRate returned nil); register a rate-parameterized NoiseFamily to sweep it",
+							sw.Base.Noise.NoiseName())
+					}
+				}
+				key := GridKey{N: sw.Base.partyCount(topo), Scheme: sc.Scheme, Rate: rate}
+				if key.Scheme == 0 {
+					key.Scheme = AlgorithmA
+				}
+				cells = append(cells, GridCell{
+					Key:      key,
+					Scenario: sc,
+					Trials:   sw.Trials,
+					SeedStep: sw.SeedStep,
+				})
+			}
+		}
+	}
+	return Grid{Cells: cells, Workers: sw.Workers}, nil
 }
 
 // SweepCell aggregates the runs of one grid point.
@@ -99,6 +168,22 @@ type SweepCell struct {
 	WhiteBox WhiteBoxStats
 }
 
+// Merge accumulates another cell's trials into c — the streaming
+// consumers' aggregation primitive (e.g. folding per-seed grid cells
+// into one total). The key fields (N, Scheme, Rate) are left untouched;
+// merging cells with different keys is the caller's decision.
+func (c *SweepCell) Merge(other SweepCell) {
+	c.Trials += other.Trials
+	c.Successes += other.Successes
+	c.Blowups = append(c.Blowups, other.Blowups...)
+	c.Iterations = append(c.Iterations, other.Iterations...)
+	c.Corruptions += other.Corruptions
+	c.Collisions += other.Collisions
+	c.BrokenSeedLinks += other.BrokenSeedLinks
+	c.WhiteBox.Tried += other.WhiteBox.Tried
+	c.WhiteBox.Landed += other.WhiteBox.Landed
+}
+
 // SuccessRate is Successes/Trials.
 func (c SweepCell) SuccessRate() float64 {
 	if c.Trials == 0 {
@@ -124,90 +209,41 @@ func mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Sweep executes the grid cell by cell (axes nested N → Schemes → Rates,
-// trials innermost) and returns one aggregated cell per grid point. The
-// first run error aborts the sweep, as does ctx cancellation.
+// Sweep executes the grid through the streaming parallel engine (see
+// Runner.RunGrid) and returns one aggregated cell per grid point, in the
+// nested N → Schemes → Rates axis order. The first run error aborts the
+// sweep, as does ctx cancellation.
+//
+// Streamed results are merged into the output by their explicit
+// (n, scheme, rate) key — not by arrival order — so a parallel sweep, a
+// shuffled grid, or a resumed run all assemble the same slice; cells
+// with duplicate keys (e.g. a repeated N entry) fall back to definition
+// order, which is well-defined because duplicate specs produce identical
+// results.
 func (r *Runner) Sweep(ctx context.Context, sw Sweep) ([]SweepCell, error) {
-	ns := sw.N
-	if len(ns) == 0 {
-		ns = []int{0} // sentinel: keep the base topology
+	grid, err := sw.Grid()
+	if err != nil {
+		return nil, err
 	}
-	schemes := sw.Schemes
-	if len(schemes) == 0 {
-		schemes = []Scheme{0} // sentinel: keep the base scheme
+	out := make([]SweepCell, len(grid.Cells))
+	slots := make(map[GridKey][]int, len(grid.Cells))
+	for i, c := range grid.Cells {
+		slots[c.Key] = append(slots[c.Key], i)
 	}
-	useRates := len(sw.Rates) > 0
-	rates := sw.Rates
-	if !useRates {
-		rates = []float64{0}
-	}
-	if useRates && sw.Base.Noise == nil {
-		return nil, fmt.Errorf("mpic: Sweep.Rates needs Base.Noise to vary")
-	}
-	trials := sw.Trials
-	if trials < 1 {
-		trials = 1
-	}
-	step := sw.SeedStep
-	if step == 0 {
-		step = 1
-	}
-
-	cells := make([]SweepCell, 0, len(ns)*len(schemes)*len(rates))
-	for _, n := range ns {
-		topo := sw.Base.Topology
-		if n > 0 {
-			var err error
-			topo, err = topo.withN(n)
-			if err != nil {
-				return nil, err
-			}
-			if topo.isZero() {
-				return nil, fmt.Errorf("mpic: Sweep.N cannot resize an implicit topology (set Base.Topology to a named family; workload-provided protocols are fixed-size)")
-			}
+	err = r.RunGrid(ctx, grid, func(res GridCellResult) {
+		free := slots[res.Key]
+		if len(free) == 0 {
+			// The engine echoes the keys Grid() assigned, so every result
+			// finds its slot; fall back to definition order rather than
+			// panicking if that invariant is ever disturbed.
+			out[res.Index] = res.Cell
+			return
 		}
-		for _, scheme := range schemes {
-			for _, rate := range rates {
-				sc := sw.Base
-				sc.Topology = topo
-				if scheme != 0 {
-					sc.Scheme = scheme
-				}
-				if useRates {
-					sc.Noise = sw.Base.Noise.WithRate(rate)
-					if sc.Noise == nil {
-						return nil, fmt.Errorf("mpic: noise %q cannot vary its rate (WithRate returned nil); register a rate-parameterized NoiseFamily to sweep it",
-							sw.Base.Noise.NoiseName())
-					}
-				}
-				cell := SweepCell{N: sw.Base.partyCount(topo), Scheme: sc.Scheme, Rate: rate}
-				if cell.Scheme == 0 {
-					cell.Scheme = AlgorithmA
-				}
-				for trial := 0; trial < trials; trial++ {
-					sc.Seed = sw.Base.Seed + int64(trial)*step
-					res, err := r.Run(ctx, sc)
-					if err != nil {
-						return nil, fmt.Errorf("sweep cell n=%d scheme=%v rate=%g trial=%d: %w",
-							cell.N, cell.Scheme, rate, trial, err)
-					}
-					cell.Trials++
-					if res.Success {
-						cell.Successes++
-					}
-					cell.Blowups = append(cell.Blowups, res.Blowup)
-					cell.Iterations = append(cell.Iterations, float64(res.Iterations))
-					cell.Corruptions += res.Metrics.TotalCorruptions()
-					cell.Collisions += res.Metrics.HashCollisions
-					cell.BrokenSeedLinks += res.BrokenSeedLinks
-					if res.WhiteBox != nil {
-						cell.WhiteBox.Tried += res.WhiteBox.Tried
-						cell.WhiteBox.Landed += res.WhiteBox.Landed
-					}
-				}
-				cells = append(cells, cell)
-			}
-		}
+		out[free[0]] = res.Cell
+		slots[res.Key] = free[1:]
+	})
+	if err != nil {
+		return nil, err
 	}
-	return cells, nil
+	return out, nil
 }
