@@ -18,7 +18,7 @@ SWEEP_PARALLEL ?= 0
 # persisted, and re-running the same grid resumes instead of restarting.
 SWEEP_CHECKPOINT ?= SWEEP.ckpt.json
 
-.PHONY: verify tier1 race examples bench compare sweep
+.PHONY: verify tier1 race examples bench compare sweep cover
 
 verify: tier1 race examples
 
@@ -30,13 +30,20 @@ tier1:
 race:
 	GOMAXPROCS=4 $(GO) test -race -count=1 . ./internal/...
 
-# The examples are the public API's living documentation; their example
-# tests (external registration through the open registries) must keep
-# passing.
+# The examples are the public API's living documentation (including
+# examples/progress, the durable-session + progress-sink loop); their
+# example tests (external registration through the open registries) must
+# keep passing.
 examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 	$(GO) test -count=1 ./examples/...
+
+# Statement coverage across every package. The recorded PR 5 baseline
+# lives in PERF.md ("Coverage baseline"); compare against it before
+# trusting a refactor that "didn't lose any tests".
+cover:
+	$(GO) test -cover ./...
 
 # Amortized per-iteration cost and the budget-scaling sweep (PERF.md).
 bench:
@@ -45,7 +52,7 @@ bench:
 # Regenerate the experiment artefact and gate it against the previous
 # PR's (fails on >10% wall-clock regression).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR4.json -compare BENCH_PR3.json
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR5.json -compare BENCH_PR4.json
 
 # Exercise the streaming grid engine on a small n × scheme × rate grid;
 # rows print as cells complete and land in the resumable checkpoint.

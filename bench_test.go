@@ -9,7 +9,10 @@ package mpic_test
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math/rand"
+	"path/filepath"
 	"strconv"
 	"testing"
 
@@ -161,6 +164,69 @@ func BenchmarkRunnerArena(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkGridSession measures the overhead of the durable-session
+// layers on a small grid: the bare engine, the same grid narrating every
+// iteration through a discarding progress sink, and the same grid
+// persisting every completed cell through a FileGridStore. Progress cost
+// is dominated by the per-iteration callback + mutex; store cost by one
+// atomic JSON rewrite per cell. Both are opt-in and must stay invisible
+// when off — the `-compare` wall-clock gate enforces that end to end.
+func BenchmarkGridSession(b *testing.B) {
+	mkGrid := func() mpic.Grid {
+		grid, err := mpic.Sweep{
+			Base: mpic.Scenario{
+				Topology:   mpic.Line(4),
+				Workload:   mpic.RandomTraffic(40),
+				Scheme:     mpic.AlgorithmA,
+				Noise:      mpic.RandomNoise(0),
+				Seed:       3,
+				IterFactor: 12,
+			},
+			Rates:  []float64{0, 0.001},
+			Trials: 2,
+		}.Grid()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return grid
+	}
+	run := func(b *testing.B, mut func(*mpic.Grid)) {
+		runner := mpic.NewRunner()
+		defer runner.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grid := mkGrid()
+			mut(&grid)
+			if err := runner.RunGrid(context.Background(), grid, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		run(b, func(*mpic.Grid) {})
+	})
+	b.Run("progress", func(b *testing.B) {
+		run(b, func(g *mpic.Grid) {
+			g.Progress = func(mpic.GridProgress) {}
+		})
+	})
+	b.Run("progresslog", func(b *testing.B) {
+		run(b, func(g *mpic.Grid) {
+			g.Progress = mpic.NewProgressLog(io.Discard)
+		})
+	})
+	b.Run("store", func(b *testing.B) {
+		dir := b.TempDir()
+		n := 0
+		run(b, func(g *mpic.Grid) {
+			// A fresh file per iteration: resuming a finished session would
+			// otherwise measure the restore path, not the persist path.
+			n++
+			g.Store = mpic.NewFileGridStore(filepath.Join(dir, fmt.Sprintf("s%d.json", n)))
+		})
 	})
 }
 

@@ -2,6 +2,8 @@ package mpic
 
 import (
 	"context"
+	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,13 +64,40 @@ func TestRegistryCartesianGrid(t *testing.T) {
 		t.Error("no fixed-topology combinations skipped — registry constraint metadata lost")
 	}
 
+	// The fuzz grid runs as a durable session, interrupted halfway: the
+	// first pass cancels once half the cells have streamed, the second
+	// restores them from the store and executes only the rest — so every
+	// registered topology × workload × noise triple crosses the
+	// persistence path (fingerprinting, keyed restore, resume).
+	store := NewFileGridStore(filepath.Join(t.TempDir(), "cartesian.json"))
+	grid := Grid{Cells: cells, Store: store}
 	runner := NewRunner()
 	defer runner.Close()
-	results, err := runner.CollectGrid(context.Background(), Grid{Cells: cells})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamed := 0
+	err := runner.RunGrid(ctx, grid, func(GridCellResult) {
+		streamed++
+		if streamed == len(cells)/2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted pass returned %v, want context.Canceled", err)
+	}
+	if streamed < len(cells)/2 || streamed >= len(cells) {
+		t.Fatalf("interrupted pass streamed %d of %d cells", streamed, len(cells))
+	}
+
+	results, err := runner.CollectGrid(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
+	restored := 0
 	for i, res := range results {
+		if res.Restored {
+			restored++
+		}
 		c := res.Cell
 		if c.Trials != 1 || len(c.Iterations) != 1 || c.Iterations[0] < 1 {
 			t.Errorf("%s: degenerate cell %+v", labels[i], c)
@@ -76,6 +105,9 @@ func TestRegistryCartesianGrid(t *testing.T) {
 		if c.MeanBlowup() <= 0 {
 			t.Errorf("%s: no communication measured", labels[i])
 		}
+	}
+	if restored != streamed {
+		t.Errorf("resume restored %d cells, first pass persisted %d", restored, streamed)
 	}
 }
 

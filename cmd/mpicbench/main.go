@@ -30,12 +30,18 @@
 //
 //	mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B -sweep-rates 0,0.002 -trials 2
 //
-// The -sweep-checkpoint flag makes long grids resumable: after every
-// completed cell the named JSON file is rewritten with all finished
-// cells, keyed by (n, scheme, rate), plus a fingerprint of the grid
-// flags. Re-running the same command after an interruption restores the
-// checkpointed cells without re-running them and executes only the rest;
-// a checkpoint written by different grid flags is rejected.
+// The -sweep-checkpoint flag makes long grids resumable through the
+// library's durable-session layer (mpic.FileGridStore): after every
+// completed cell the named JSON file is atomically rewritten with all
+// finished cells, keyed by (n, scheme, rate), plus a fingerprint of the
+// grid flags. Re-running the same command after an interruption restores
+// the checkpointed cells without re-running them and executes only the
+// rest; a checkpoint written by different grid flags is rejected. The
+// -checkpoint flag is the experiment-mode equivalent: a directory in
+// which every experiment grid persists its cells, so an interrupted
+// `-experiment all` resumes the tables it finished. Because restored
+// tables replay with non-comparable wall-clock timings, -checkpoint
+// does not combine with -json or -compare.
 package main
 
 import (
@@ -68,6 +74,7 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "smaller sizes and trial counts")
 		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR2.json)")
 		compare  = fs.String("compare", "", "prior JSON artefact to compare against (e.g. BENCH_PR1.json); exits non-zero on >10% wall-clock regression")
+		ckptDir  = fs.String("checkpoint", "", "experiment mode: directory of resumable per-grid checkpoints (interrupted tables resume instead of restarting; not combinable with -json/-compare, whose timings assume fresh runs)")
 
 		doSweep    = fs.Bool("sweep", false, "run a streaming grid instead of the named experiments")
 		swTopology = fs.String("sweep-topology", "", "sweep: topology family ("+strings.Join(mpic.TopologyNames(), "|")+"; default: the workload's)")
@@ -91,7 +98,7 @@ func run(args []string) error {
 			switch fl.Name {
 			case "sweep-rates":
 				ratesSet = true
-			case "json", "compare", "experiment", "quick":
+			case "json", "compare", "experiment", "quick", "checkpoint":
 				// Dropping these silently would un-gate CI jobs modeled on
 				// `make compare` (or leave a -quick grid running at full
 				// cost); reject the combination loudly instead.
@@ -108,7 +115,15 @@ func run(args []string) error {
 			parallel: *swParallel, checkpoint: *swCkpt,
 		})
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	if *ckptDir != "" && (*jsonPath != "" || *compare != "") {
+		// Restored tables replay in near-zero wall clock, so a resumed
+		// run's ElapsedMS is meaningless: written to a -json artefact it
+		// poisons the next baseline, and fed to -compare it un-gates the
+		// regression check behind a fake speedup. Reject the combination
+		// loudly, exactly like sweep mode rejects its artefact flags.
+		return fmt.Errorf("-checkpoint resumes tables with non-comparable wall-clock timings; it does not combine with -json/-compare")
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Checkpoint: *ckptDir}
 	var tables []*experiments.Table
 	if *name == "all" {
 		all, err := experiments.RunAll(cfg)
@@ -232,19 +247,12 @@ func (f sweepFlags) spec() string {
 		f.topology, f.workload, f.rounds, f.noise, f.n, f.schemes, f.rates, f.trials, f.seed, f.iterFactor)
 }
 
-// sweepCheckpoint is the on-disk resume state of a grid: the flag
-// fingerprint plus every completed cell. Cells are keyed by their
-// (n, scheme, rate) identity, never by position, so a resumed run merges
-// correctly whatever order the engine completed them in.
-type sweepCheckpoint struct {
-	Spec  string
-	Cells []mpic.SweepCell
-}
-
 // runSweep executes the cartesian grid through the streaming parallel
-// engine, printing one markdown row per cell as it completes and — when
-// a checkpoint file is configured — persisting every finished cell so an
-// interrupted grid resumes instead of restarting.
+// engine, printing one markdown row per cell as it completes. When a
+// checkpoint file is configured, the grid runs as a durable session
+// (mpic.FileGridStore under the flag fingerprint): every finished cell
+// is persisted by the engine, and a re-run restores the completed cells
+// — streamed first, in definition order — before executing the rest.
 func runSweep(w io.Writer, f sweepFlags) error {
 	ns, err := parseInts(f.n)
 	if err != nil {
@@ -294,50 +302,42 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	if err != nil {
 		return err
 	}
-
-	ckpt := sweepCheckpoint{Spec: f.spec()}
-	var restored []mpic.SweepCell
 	if f.checkpoint != "" {
-		restored, err = loadCheckpoint(f.checkpoint, ckpt.Spec, &grid)
-		if err != nil {
-			return err
-		}
-		ckpt.Cells = restored
+		// The library owns the resume flow; the flag fingerprint is the
+		// session's spec, so a checkpoint written by different grid flags
+		// is rejected instead of silently merged.
+		grid.Spec = f.spec()
+		grid.Store = mpic.NewFileGridStore(f.checkpoint)
 	}
 
 	// Stream the table: title and header up front, one row per cell the
-	// moment it completes (restored cells first). Row order under
-	// -parallel is completion order; the n/scheme/rate columns are the
-	// row identity, exactly like the checkpoint keys.
+	// moment it completes (restored cells first, in definition order).
+	// Row order under -parallel is completion order; the n/scheme/rate
+	// columns are the row identity, exactly like the checkpoint keys.
 	title := fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.workload, base.Topology.Name, f.noise)
 	header := []string{"n", "scheme", "noise rate", "success", "mean blowup",
 		"mean iterations", "corruptions"}
 	fmt.Fprintf(w, "### SWEEP — %s\n\n", title)
 	fmt.Fprintln(w, "| "+strings.Join(header, " | ")+" |")
 	fmt.Fprintln(w, "|"+strings.Repeat("---|", len(header)))
-	for _, c := range restored {
-		fmt.Fprintln(w, sweepRow(c))
-	}
 	runner := mpic.NewRunner()
 	defer runner.Close()
+	restored := 0
 	err = runner.RunGrid(context.Background(), grid, func(res mpic.GridCellResult) {
-		// The engine serializes sink calls, so printing and rewriting the
-		// checkpoint here is race-free even under -parallel.
+		// The engine serializes sink calls (and persists the cell before
+		// streaming it), so printing here is race-free even under
+		// -parallel.
+		if res.Restored {
+			restored++
+		}
 		fmt.Fprintln(w, sweepRow(res.Cell))
-		if f.checkpoint == "" {
-			return
-		}
-		ckpt.Cells = append(ckpt.Cells, res.Cell)
-		if werr := writeCheckpoint(f.checkpoint, ckpt); werr != nil {
-			fmt.Fprintf(os.Stderr, "mpicbench: checkpoint: %v\n", werr)
-		}
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
-	if len(restored) > 0 {
-		fmt.Fprintf(w, "*restored %d of %d cells from %s*\n", len(restored), len(restored)+len(grid.Cells), f.checkpoint)
+	if restored > 0 {
+		fmt.Fprintf(w, "*restored %d of %d cells from %s*\n", restored, len(grid.Cells), f.checkpoint)
 	}
 	return nil
 }
@@ -353,62 +353,6 @@ func sweepRow(c mpic.SweepCell) string {
 		fmt.Sprintf("%.0f", c.MeanIterations()),
 		fmt.Sprint(c.Corruptions),
 	}, " | ") + " |"
-}
-
-// loadCheckpoint reads a prior checkpoint, validates its spec against
-// this grid's, and removes every already-completed cell from the grid
-// (matched by (n, scheme, rate) key, duplicates counted). It returns the
-// restored cells; a missing file is an empty checkpoint.
-func loadCheckpoint(path, spec string, grid *mpic.Grid) ([]mpic.SweepCell, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("reading checkpoint: %w", err)
-	}
-	var ckpt sweepCheckpoint
-	if err := json.Unmarshal(data, &ckpt); err != nil {
-		return nil, fmt.Errorf("parsing checkpoint %s: %w", path, err)
-	}
-	if ckpt.Spec != spec {
-		return nil, fmt.Errorf("checkpoint %s was written by a different grid (%q); delete it or match the flags (%q)", path, ckpt.Spec, spec)
-	}
-	have := make(map[mpic.GridKey][]mpic.SweepCell, len(ckpt.Cells))
-	for _, c := range ckpt.Cells {
-		key := mpic.GridKey{N: c.N, Scheme: c.Scheme, Rate: c.Rate}
-		have[key] = append(have[key], c)
-	}
-	var restored []mpic.SweepCell
-	remaining := grid.Cells[:0]
-	for _, cell := range grid.Cells {
-		if done := have[cell.Key]; len(done) > 0 {
-			// Duplicate grid keys consume distinct checkpoint entries (a
-			// repeated -sweep-n value produces bit-identical cells, but the
-			// bookkeeping should not rely on that).
-			restored = append(restored, done[0])
-			have[cell.Key] = done[1:]
-			continue
-		}
-		remaining = append(remaining, cell)
-	}
-	grid.Cells = remaining
-	return restored, nil
-}
-
-// writeCheckpoint atomically replaces the checkpoint file with the
-// completed cells so far (a crash mid-write must not corrupt the resume
-// state it exists to provide).
-func writeCheckpoint(path string, ckpt sweepCheckpoint) error {
-	data, err := json.MarshalIndent(ckpt, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -177,7 +177,8 @@ func rowLines(out string) []string {
 	return rows
 }
 
-// TestSweepCheckpointResume pins the resumable-grid contract: a partial
+// TestSweepCheckpointResume pins the resumable-grid contract, now served
+// by the library's durable-session layer (mpic.FileGridStore): a partial
 // checkpoint restores its cells without re-running them, the engine
 // executes only the missing cells, and the merged output matches a fresh
 // full run row for row.
@@ -195,22 +196,25 @@ func TestSweepCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ckpt struct {
-		Spec  string
-		Cells []json.RawMessage
+		Version int
+		Spec    string
+		Cells   []json.RawMessage
 	}
 	if err := json.Unmarshal(data, &ckpt); err != nil {
 		t.Fatal(err)
 	}
-	if ckpt.Spec == "" || len(ckpt.Cells) != 2 {
-		t.Fatalf("full checkpoint has spec %q and %d cells, want 2", ckpt.Spec, len(ckpt.Cells))
+	if ckpt.Version != 1 || ckpt.Spec == "" || len(ckpt.Cells) != 2 {
+		t.Fatalf("full checkpoint has version %d, spec %q and %d cells, want v1 with 2 cells",
+			ckpt.Version, ckpt.Spec, len(ckpt.Cells))
 	}
 
 	// Simulate an interruption: drop the second cell and resume.
 	partial := filepath.Join(dir, "partial.json")
 	truncated, err := json.Marshal(struct {
-		Spec  string
-		Cells []json.RawMessage
-	}{ckpt.Spec, ckpt.Cells[:1]})
+		Version int
+		Spec    string
+		Cells   []json.RawMessage
+	}{ckpt.Version, ckpt.Spec, ckpt.Cells[:1]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,6 +264,58 @@ func TestSweepCheckpointResume(t *testing.T) {
 	other.rates = "0,0.002"
 	if err := runSweep(io.Discard, other); err == nil || !strings.Contains(err.Error(), "different grid") {
 		t.Fatalf("mismatched checkpoint spec accepted: %v", err)
+	}
+}
+
+// TestSweepCheckpointVersionRejected pins the format-versioning
+// contract: a pre-session checkpoint (the shape this command used to
+// write itself) is refused with a clear message instead of being
+// misread.
+func TestSweepCheckpointVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	legacy := `{"Spec": "anything", "Cells": []}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runSweep(io.Discard, sweepTestFlags(path))
+	if err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("legacy checkpoint accepted: %v", err)
+	}
+}
+
+// TestRunExperimentCheckpoint exercises the experiment-mode -checkpoint
+// flag: grids persist per-fingerprint session files into the directory,
+// and a second run resumes from them without error. (Row-level
+// resume identity is pinned in internal/experiments.)
+func TestRunExperimentCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-experiment", "cc-noise", "-quick", "-trials", "1", "-checkpoint", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("experiment checkpoint directory left empty")
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("checkpointed re-run failed: %v", err)
+	}
+	// The flag belongs to experiment mode; a sweep grid uses
+	// -sweep-checkpoint instead.
+	if err := run([]string{"-sweep", "-checkpoint", dir}); err == nil {
+		t.Error("-checkpoint in sweep mode accepted")
+	}
+	// Resumed tables replay with near-zero ElapsedMS; letting them feed
+	// the -json artefact or the -compare gate would poison the baseline
+	// / fake a speedup.
+	if err := run(append(args, "-json", filepath.Join(dir, "x.json"))); err == nil {
+		t.Error("-checkpoint with -json accepted")
+	}
+	if err := run(append(args, "-compare", "BENCH_PR4.json")); err == nil {
+		t.Error("-checkpoint with -compare accepted")
 	}
 }
 

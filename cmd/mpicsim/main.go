@@ -13,9 +13,14 @@
 // With -trials above 1 the scenario is re-run at that many consecutive
 // seeds through the streaming grid engine (one line per trial as it
 // completes, then the aggregate); -workers bounds the concurrent trials.
-// Results are bit-identical at any worker count.
+// Results are bit-identical at any worker count. -checkpoint makes the
+// trial grid a durable session: completed trials persist to the named
+// JSON file (mpic.FileGridStore) and a re-run resumes the missing ones;
+// -observe streams the grid's fine-grained progress (trial starts,
+// per-iteration ticks) to stderr through mpic.NewProgressLog.
 //
-//	mpicsim -topology line -n 6 -noise random -rate 0.002 -trials 20 -workers 4
+//	mpicsim -topology line -n 6 -noise random -rate 0.002 -trials 20 -workers 4 \
+//	    -checkpoint trials.ckpt.json -observe
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,13 +37,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mpicsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("mpicsim", flag.ContinueOnError)
 	var (
 		topology = fs.String("topology", "", "topology: "+strings.Join(mpic.TopologyNames(), "|")+" (default: the workload's)")
@@ -57,6 +63,7 @@ func run(args []string) error {
 		doTrace  = fs.Bool("trace", false, "print the per-iteration potential trace")
 		trials   = fs.Int("trials", 1, "independent seeds to run (above 1: streamed through the grid engine)")
 		workers  = fs.Int("workers", 0, "concurrent trials when -trials > 1 (0 = GOMAXPROCS)")
+		ckpt     = fs.String("checkpoint", "", "with -trials > 1: resumable JSON checkpoint file for the trial grid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,59 +90,89 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *observe {
-		sc.Observers = append(sc.Observers, mpic.NewIterationLog(os.Stderr))
-	}
 	runner := mpic.NewRunner()
 	defer runner.Close()
 	if *trials > 1 {
 		if *doTrace {
 			return fmt.Errorf("-trace reads one run's trajectory; it does not combine with -trials %d", *trials)
 		}
-		return runTrials(runner, sc, *trials, *workers, *asJSON)
+		return runTrials(w, runner, sc, trialOpts{
+			trials: *trials, workers: *workers,
+			checkpoint: *ckpt, observe: *observe, asJSON: *asJSON,
+		})
+	}
+	if *ckpt != "" {
+		return fmt.Errorf("-checkpoint resumes a trial grid; it needs -trials > 1")
+	}
+	if *observe {
+		sc.Observers = append(sc.Observers, mpic.NewIterationLog(os.Stderr))
 	}
 	res, err := runner.Run(context.Background(), sc)
 	if err != nil {
 		return err
 	}
 	if *asJSON {
-		return printJSON(res)
+		return printJSON(w, res)
 	}
-	printHuman(sc, res)
+	printHuman(w, sc, res)
 	if *doTrace {
-		printTrace(res)
+		printTrace(w, res)
 	}
 	return nil
 }
 
+// trialOpts carries the multi-seed grid mode's flags.
+type trialOpts struct {
+	trials, workers int
+	checkpoint      string
+	observe, asJSON bool
+}
+
 // runTrials re-runs the scenario at consecutive seeds through the
 // streaming grid engine: one single-trial cell per seed, a line per
-// trial the moment it completes, then the aggregate.
-func runTrials(runner *mpic.Runner, sc mpic.Scenario, trials, workers int, asJSON bool) error {
-	cells := make([]mpic.GridCell, trials)
+// trial the moment it completes, then the aggregate. With a checkpoint
+// file the grid is a durable session — completed trials are restored
+// instead of re-run; with -observe the engine's progress stream narrates
+// every trial on stderr.
+func runTrials(w io.Writer, runner *mpic.Runner, sc mpic.Scenario, opts trialOpts) error {
+	cells := make([]mpic.GridCell, opts.trials)
 	for i := range cells {
 		s := sc
 		s.Seed = sc.Seed + int64(i)
 		cells[i] = mpic.GridCell{Scenario: s, Trials: 1}
 	}
+	grid := mpic.Grid{Cells: cells, Workers: opts.workers}
+	if opts.checkpoint != "" {
+		// The default spec (Grid.Fingerprint) covers the flags that shape
+		// the cells — topology, workload, noise, seed, budget — so a
+		// checkpoint from a different invocation is rejected.
+		grid.Store = mpic.NewFileGridStore(opts.checkpoint)
+	}
+	if opts.observe {
+		grid.Progress = mpic.NewProgressLog(os.Stderr)
+	}
 	agg := mpic.SweepCell{}
-	err := runner.RunGrid(context.Background(), mpic.Grid{Cells: cells, Workers: workers}, func(res mpic.GridCellResult) {
+	restored := 0
+	err := runner.RunGrid(context.Background(), grid, func(res mpic.GridCellResult) {
 		c := res.Cell
 		agg.Merge(c)
-		if !asJSON {
+		if res.Restored {
+			restored++
+		}
+		if !opts.asJSON {
 			status := "SUCCESS"
 			if c.Successes < c.Trials {
 				status = "FAILURE"
 			}
-			fmt.Printf("trial %3d (seed %d): %s blowup=%.2f iterations=%.0f corruptions=%d\n",
+			fmt.Fprintf(w, "trial %3d (seed %d): %s blowup=%.2f iterations=%.0f corruptions=%d\n",
 				res.Index, sc.Seed+int64(res.Index), status, c.MeanBlowup(), c.MeanIterations(), c.Corruptions)
 		}
 	})
 	if err != nil {
 		return err
 	}
-	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+	if opts.asJSON {
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(map[string]interface{}{
 			"trials":         agg.Trials,
@@ -145,28 +182,32 @@ func runTrials(runner *mpic.Runner, sc mpic.Scenario, trials, workers int, asJSO
 			"meanIterations": agg.MeanIterations(),
 			"corruptions":    agg.Corruptions,
 			"hashCollisions": agg.Collisions,
+			"restoredTrials": restored,
 		})
 	}
-	fmt.Printf("aggregate: %d/%d succeeded, mean blowup %.2f, mean iterations %.0f, %d corruptions\n",
+	fmt.Fprintf(w, "aggregate: %d/%d succeeded, mean blowup %.2f, mean iterations %.0f, %d corruptions\n",
 		agg.Successes, agg.Trials, agg.MeanBlowup(), agg.MeanIterations(), agg.Corruptions)
+	if restored > 0 {
+		fmt.Fprintf(w, "restored %d of %d trials from %s\n", restored, opts.trials, opts.checkpoint)
+	}
 	return nil
 }
 
 // printTrace dumps the oracle's per-iteration snapshots: the agreed
 // prefix G*, the divergence B*, and how many links were repairing.
-func printTrace(res *mpic.Result) {
-	fmt.Println("  iteration trace (G* / B* / links in meeting points):")
+func printTrace(w io.Writer, res *mpic.Result) {
+	fmt.Fprintln(w, "  iteration trace (G* / B* / links in meeting points):")
 	for _, snap := range res.Potential {
 		marker := ""
 		if snap.BStar > 0 {
 			marker = "  <- divergence"
 		}
-		fmt.Printf("    iter %4d: G*=%-4d B*=%-3d mp=%d%s\n",
+		fmt.Fprintf(w, "    iter %4d: G*=%-4d B*=%-3d mp=%d%s\n",
 			snap.Iteration, snap.GStar, snap.BStar, snap.MeetingLinks, marker)
 	}
 }
 
-func printHuman(sc mpic.Scenario, res *mpic.Result) {
+func printHuman(w io.Writer, sc mpic.Scenario, res *mpic.Result) {
 	status := "SUCCESS"
 	if !res.Success {
 		status = fmt.Sprintf("FAILURE (%d parties wrong)", res.WrongParties)
@@ -175,25 +216,25 @@ func printHuman(sc mpic.Scenario, res *mpic.Result) {
 	if workload == "" {
 		workload = "random"
 	}
-	fmt.Printf("%s — %s over %s(n=%d), workload %s\n",
+	fmt.Fprintf(w, "%s — %s over %s(n=%d), workload %s\n",
 		status, sc.Scheme, sc.Topology.Name, sc.Topology.N, workload)
-	fmt.Printf("  protocol:       %d chunks, CC(Π) = %d bits\n", res.NumChunks, res.CCProtocol)
-	fmt.Printf("  simulation:     %d iterations, %d rounds, G* = %d chunks\n",
+	fmt.Fprintf(w, "  protocol:       %d chunks, CC(Π) = %d bits\n", res.NumChunks, res.CCProtocol)
+	fmt.Fprintf(w, "  simulation:     %d iterations, %d rounds, G* = %d chunks\n",
 		res.Iterations, res.Metrics.Rounds, res.GStar)
-	fmt.Printf("  communication:  %d bits (blowup %.2fx)\n", res.Metrics.CC, res.Blowup)
-	fmt.Printf("  noise:          %d corruptions (µ = %.5f), %d oracle hash collisions\n",
+	fmt.Fprintf(w, "  communication:  %d bits (blowup %.2fx)\n", res.Metrics.CC, res.Blowup)
+	fmt.Fprintf(w, "  noise:          %d corruptions (µ = %.5f), %d oracle hash collisions\n",
 		res.Metrics.TotalCorruptions(), res.Metrics.NoiseFraction(), res.Metrics.HashCollisions)
-	fmt.Printf("  per phase CC:  ")
+	fmt.Fprintf(w, "  per phase CC:  ")
 	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
-		fmt.Printf(" %s=%d", ph, res.Metrics.CCPhase[ph])
+		fmt.Fprintf(w, " %s=%d", ph, res.Metrics.CCPhase[ph])
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if res.BrokenSeedLinks > 0 {
-		fmt.Printf("  broken seeds:   %d link endpoints\n", res.BrokenSeedLinks)
+		fmt.Fprintf(w, "  broken seeds:   %d link endpoints\n", res.BrokenSeedLinks)
 	}
 }
 
-func printJSON(res *mpic.Result) error {
+func printJSON(w io.Writer, res *mpic.Result) error {
 	out := map[string]interface{}{
 		"success":        res.Success,
 		"chunks":         res.NumChunks,
@@ -208,7 +249,7 @@ func printJSON(res *mpic.Result) error {
 		"hashCollisions": res.Metrics.HashCollisions,
 		"wrongParties":   res.WrongParties,
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"mpic"
 )
 
 func TestRunBasic(t *testing.T) {
-	err := run([]string{"-topology", "line", "-n", "4", "-scheme", "A",
+	err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-scheme", "A",
 		"-iterfactor", "20", "-seed", "3"})
 	if err != nil {
 		t.Fatal(err)
@@ -15,14 +20,14 @@ func TestRunBasic(t *testing.T) {
 }
 
 func TestRunJSON(t *testing.T) {
-	err := run([]string{"-n", "4", "-scheme", "1", "-iterfactor", "10", "-json"})
+	err := run(io.Discard, []string{"-n", "4", "-scheme", "1", "-iterfactor", "10", "-json"})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoisy(t *testing.T) {
-	err := run([]string{"-n", "4", "-scheme", "B", "-noise", "adaptive",
+	err := run(io.Discard, []string{"-n", "4", "-scheme", "B", "-noise", "adaptive",
 		"-rate", "0.0005", "-iterfactor", "40"})
 	if err != nil {
 		t.Fatal(err)
@@ -32,22 +37,22 @@ func TestRunNoisy(t *testing.T) {
 // Fixed-topology workloads pick their own topology when -topology is
 // left at its "" default, and reject a conflicting explicit one.
 func TestRunFixedTopologyWorkload(t *testing.T) {
-	if err := run([]string{"-workload", "token-ring", "-n", "5", "-iterfactor", "20", "-seed", "5"}); err != nil {
+	if err := run(io.Discard, []string{"-workload", "token-ring", "-n", "5", "-iterfactor", "20", "-seed", "5"}); err != nil {
 		t.Fatalf("token-ring with default topology: %v", err)
 	}
-	if err := run([]string{"-workload", "token-ring", "-topology", "line", "-n", "5"}); err == nil {
+	if err := run(io.Discard, []string{"-workload", "token-ring", "-topology", "line", "-n", "5"}); err == nil {
 		t.Error("conflicting explicit topology accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-scheme", "Z"}); err == nil {
+	if err := run(io.Discard, []string{"-scheme", "Z"}); err == nil {
 		t.Error("bad scheme accepted")
 	}
-	if err := run([]string{"-topology", "moebius"}); err == nil {
+	if err := run(io.Discard, []string{"-topology", "moebius"}); err == nil {
 		t.Error("bad topology accepted")
 	}
-	if err := run([]string{"-badflag"}); err == nil {
+	if err := run(io.Discard, []string{"-badflag"}); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -67,15 +72,89 @@ func TestParseScheme(t *testing.T) {
 // through the engine (any worker count), -trace is rejected, and the
 // JSON aggregate path works.
 func TestRunTrialsGrid(t *testing.T) {
-	if err := run([]string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
 		"-trials", "3", "-workers", "2"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
 		"-trials", "2", "-json"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-topology", "line", "-n", "4", "-trials", "2", "-trace"}); err == nil {
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-trials", "2", "-trace"}); err == nil {
 		t.Error("-trace with -trials accepted")
+	}
+}
+
+// TestRunTrialsCheckpointResume pins the durable trial grid: a full run
+// writes the session file, a truncated session resumes the missing
+// trials, and the resumed output is line-identical to the fresh run.
+func TestRunTrialsCheckpointResume(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "trials.ckpt.json")
+	// Workers pinned to 1 so completion order (the printed line order)
+	// is definition order in both runs; the cells themselves are
+	// bit-identical at any worker count.
+	args := []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-trials", "3", "-workers", "1", "-checkpoint", ck}
+
+	var fresh strings.Builder
+	if err := run(&fresh, args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	var state struct {
+		Version int
+		Spec    string
+		Cells   []json.RawMessage
+	}
+	if err := json.Unmarshal(data, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Version != 1 || state.Spec == "" || len(state.Cells) != 3 {
+		t.Fatalf("checkpoint state = version %d, spec %q, %d cells; want v1 with 3 cells",
+			state.Version, state.Spec, len(state.Cells))
+	}
+
+	// Simulate an interruption: drop the last trial and resume.
+	state.Cells = state.Cells[:2]
+	truncated, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ck, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run(&resumed, args); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !strings.Contains(resumed.String(), "restored 2 of 3 trials") {
+		t.Fatalf("resume output missing restore note:\n%s", resumed.String())
+	}
+	// Trial lines and the aggregate must be bit-identical; the resumed
+	// run then appends its restore note.
+	freshLines := strings.Split(strings.TrimRight(fresh.String(), "\n"), "\n")
+	resumedLines := strings.Split(strings.TrimRight(resumed.String(), "\n"), "\n")
+	if len(resumedLines) != len(freshLines)+1 {
+		t.Fatalf("resumed run printed %d lines, fresh %d (want fresh+1)", len(resumedLines), len(freshLines))
+	}
+	for i, line := range freshLines {
+		if resumedLines[i] != line {
+			t.Fatalf("line %d differs after resume:\nfresh:   %q\nresumed: %q", i, line, resumedLines[i])
+		}
+	}
+
+	// A different grid (another seed) must reject the session file.
+	other := []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-trials", "3", "-seed", "9", "-checkpoint", ck}
+	if err := run(io.Discard, other); err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("mismatched checkpoint accepted: %v", err)
+	}
+
+	// -checkpoint without a trial grid has nothing to resume.
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-checkpoint", ck}); err == nil {
+		t.Error("-checkpoint without -trials accepted")
 	}
 }

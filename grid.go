@@ -41,7 +41,9 @@ type GridCell struct {
 	Key GridKey
 	// Scenario is the cell's base scenario; Seed is re-derived per trial.
 	Scenario Scenario
-	// Trials is the number of seeds to aggregate (default 1).
+	// Trials is the number of seeds to aggregate. Zero means 1 (the
+	// documented default); a negative count is a spec error RunGrid
+	// rejects before anything runs.
 	Trials int
 	// SeedStep is the per-trial seed stride (default 1).
 	SeedStep int64
@@ -55,16 +57,115 @@ type Grid struct {
 	// Cells are the grid points, in definition order.
 	Cells []GridCell
 	// Workers bounds the number of cells executing concurrently; 0 means
-	// GOMAXPROCS, 1 forces sequential execution. Results are identical
-	// either way — only wall-clock and completion order change.
+	// GOMAXPROCS, 1 forces sequential execution. A negative count is a
+	// spec error RunGrid rejects before anything runs. Results are
+	// identical at any valid setting — only wall-clock and completion
+	// order change.
 	Workers int
 	// KeepResults retains every trial's full *Result on the streamed
 	// GridCellResult — for consumers that need per-run detail (potential
 	// trajectories, round counts) beyond the SweepCell aggregate. Off by
 	// default: a long grid's Results would otherwise pin every
-	// transcript's metrics in memory.
+	// transcript's metrics in memory. Cells restored from a Store carry
+	// nil Results regardless (checkpoints persist aggregates only).
 	KeepResults bool
+	// Store, when non-nil, makes the grid a durable session: completed
+	// cells already persisted under this grid's spec are restored (and
+	// streamed, marked Restored) instead of re-run, and every cell the
+	// engine completes is persisted the moment it finishes — so a
+	// cancelled or crashed grid resumes from exactly the cells it got
+	// through. Resumed and uninterrupted runs produce bit-identical
+	// cells (see GridCell on seed derivation). A Load or Save error
+	// aborts the grid.
+	Store GridStore
+	// Spec is the fingerprint the Store keys this grid's state under; a
+	// store holding a different spec refuses to resume. Empty means
+	// Fingerprint() — set it explicitly when the grid's identity lives
+	// outside what a fingerprint can see (CLI flags, Tune closures,
+	// custom builders).
+	Spec string
+	// Progress, when non-nil, receives the grid's fine-grained progress
+	// stream: per-trial starts, per-iteration ticks, per-trial results,
+	// cell completions and restores. Progress calls are serialized with
+	// each other (one at a time, happens-before ordered) across all
+	// workers, so the callback may write to its own shared state without
+	// locking — but they are NOT serialized with GridSink calls: at
+	// Workers > 1 a progress event can fire while another cell's sink
+	// delivery is in flight, so state shared between the two callbacks
+	// needs its own lock. A slow callback stalls the runs that feed it.
+	// See NewProgressLog for a ready-made sink.
+	Progress GridProgressFunc
 }
+
+// GridEvent identifies the kind of a GridProgress event.
+type GridEvent int
+
+const (
+	// GridCellRestored: the cell was replayed from the session's Store
+	// instead of executed (identity fields only).
+	GridCellRestored GridEvent = iota
+	// GridTrialStart: a trial is about to execute its first round; Info
+	// carries the run's phase layout and iteration budget.
+	GridTrialStart
+	// GridIteration: the trial finished one iteration; Iteration is its
+	// 0-based index and Stats the live per-iteration snapshot.
+	GridIteration
+	// GridTrialDone: the trial finished; Result is its outcome.
+	GridTrialDone
+	// GridCellDone: every trial of the cell finished (identity fields
+	// only — the aggregate streams through the GridSink).
+	GridCellDone
+)
+
+// String names the event for logs and tests.
+func (e GridEvent) String() string {
+	switch e {
+	case GridCellRestored:
+		return "cell-restored"
+	case GridTrialStart:
+		return "trial-start"
+	case GridIteration:
+		return "iteration"
+	case GridTrialDone:
+		return "trial-done"
+	case GridCellDone:
+		return "cell-done"
+	default:
+		return fmt.Sprintf("GridEvent(%d)", int(e))
+	}
+}
+
+// GridProgress is one event of a grid's progress stream — "trial k of
+// cell j, iteration i" — built from the run-level Observer hooks the
+// engine threads through every trial it executes.
+type GridProgress struct {
+	// Event says what happened; the fields below it are valid per event
+	// kind (see the GridEvent constants).
+	Event GridEvent
+	// Cell is the cell's index in Grid.Cells; Cells the grid size.
+	Cell, Cells int
+	// Key is the cell's (n, scheme, rate) identity.
+	Key GridKey
+	// Trial is the 0-based trial within the cell; Trials the cell's
+	// trial count. Trial is meaningful for trial-scoped events only.
+	Trial, Trials int
+	// Iteration is the 0-based iteration index of a GridIteration event.
+	Iteration int
+	// Info is the run's phase layout for GridTrialStart events (nil
+	// otherwise); Info.Iterations is the trial's iteration budget.
+	Info *RunInfo
+	// Stats is the live per-iteration snapshot of a GridIteration event
+	// (nil otherwise). Like any Observer payload it is engine-owned and
+	// read-only, valid only for the duration of the callback.
+	Stats *IterationStats
+	// Result is the trial's outcome for GridTrialDone events (nil
+	// otherwise).
+	Result *Result
+}
+
+// GridProgressFunc receives serialized progress events; see
+// Grid.Progress.
+type GridProgressFunc func(GridProgress)
 
 // GridCellResult is one completed cell, streamed to the sink as soon as
 // its trials finish — before the rest of the grid completes.
@@ -77,8 +178,11 @@ type GridCellResult struct {
 	// Cell is the aggregate over the cell's trials.
 	Cell SweepCell
 	// Results holds the per-trial results when Grid.KeepResults is set,
-	// in trial order; nil otherwise.
+	// in trial order; nil otherwise, and always nil for restored cells.
 	Results []*Result
+	// Restored marks a cell replayed from the session's Store rather
+	// than executed this run.
+	Restored bool
 }
 
 // GridSink receives completed cells. The engine serializes calls (one
@@ -87,11 +191,150 @@ type GridCellResult struct {
 // long, since a blocked sink stalls the worker that completed the cell.
 type GridSink func(GridCellResult)
 
+// validate rejects spec errors before anything runs: the engine clamps
+// documented zero values (Workers 0 → GOMAXPROCS, Trials 0 → 1) but a
+// negative count is a bug in the caller's grid construction, not a
+// request for a default.
+func (g Grid) validate() error {
+	if g.Workers < 0 {
+		return fmt.Errorf("mpic: Grid.Workers is %d; negative worker counts are invalid (0 means GOMAXPROCS, 1 forces sequential)", g.Workers)
+	}
+	for i, c := range g.Cells {
+		if c.Trials < 0 {
+			return fmt.Errorf("mpic: grid cell %d has Trials %d; negative trial counts are invalid (0 means 1)", i, c.Trials)
+		}
+	}
+	return nil
+}
+
+// progressEmitter serializes progress events across workers.
+type progressEmitter struct {
+	mu sync.Mutex
+	fn GridProgressFunc
+}
+
+func (p *progressEmitter) emit(ev GridProgress) {
+	p.mu.Lock()
+	p.fn(ev)
+	p.mu.Unlock()
+}
+
+// trialProgress forwards one trial's Observer callbacks into the grid's
+// progress stream — the bridge from the run-level RunStart/Iteration/
+// RunEnd hooks to serialized GridProgress events.
+type trialProgress struct {
+	emit func(GridProgress)
+	base GridProgress // identity template: cell, key, trial
+}
+
+// RunStarted implements RunStartObserver.
+func (t *trialProgress) RunStarted(info RunInfo) {
+	ev := t.base
+	ev.Event = GridTrialStart
+	ev.Info = &info
+	t.emit(ev)
+}
+
+// IterationDone implements Observer.
+func (t *trialProgress) IterationDone(st IterationStats) {
+	ev := t.base
+	ev.Event = GridIteration
+	ev.Iteration = st.Iteration
+	ev.Stats = &st
+	t.emit(ev)
+}
+
+// RunDone implements RunEndObserver.
+func (t *trialProgress) RunDone(res *Result) {
+	ev := t.base
+	ev.Event = GridTrialDone
+	ev.Result = res
+	t.emit(ev)
+}
+
+// gridSession is the engine-side state of a durable grid: the resolved
+// spec, the store, and every completed cell (restored and fresh) in the
+// order they were persisted.
+type gridSession struct {
+	store    GridStore
+	spec     string
+	cells    []StoredCell
+	restored []GridCellResult
+}
+
+// save persists the session's completed cells.
+func (s *gridSession) save() error {
+	if err := s.store.Save(s.spec, s.cells); err != nil {
+		return fmt.Errorf("mpic: persisting grid checkpoint: %w", err)
+	}
+	return nil
+}
+
+// openSession loads the grid's persisted state and splits the cells into
+// restored results and the indices still pending execution. Matching is
+// two-pass: an entry whose recorded Index names a grid cell with the
+// same key reclaims exactly that cell — so cells that share a key but
+// differ in content (ablation variants, Tune sweeps, the cartesian fuzz
+// grid) resume correctly whatever order the previous run completed them
+// in. Entries without a usable index (a store written by another layout
+// or a hand-edited file) fall back to key matching in definition order,
+// which is the documented contract for identical duplicate keys.
+func (g Grid) openSession() (*gridSession, []int, error) {
+	spec := g.Spec
+	if spec == "" {
+		spec = g.Fingerprint()
+	}
+	saved, err := g.Store.Load(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &gridSession{store: g.Store, spec: spec}
+	byCell := make(map[int]StoredCell, len(saved))
+	var keyed []StoredCell
+	for _, e := range saved {
+		_, taken := byCell[e.Index]
+		if !taken && e.Index >= 0 && e.Index < len(g.Cells) && g.Cells[e.Index].key() == e.Key {
+			byCell[e.Index] = e
+			continue
+		}
+		keyed = append(keyed, e)
+	}
+	have := make(map[GridKey][]StoredCell, len(keyed))
+	for _, e := range keyed {
+		have[e.Key] = append(have[e.Key], e)
+	}
+	var pending []int
+	for i, cell := range g.Cells {
+		e, ok := byCell[i]
+		if !ok {
+			k := cell.key()
+			entries := have[k]
+			if len(entries) == 0 {
+				pending = append(pending, i)
+				continue
+			}
+			e = entries[0]
+			have[k] = entries[1:]
+		}
+		e.Index = i
+		s.cells = append(s.cells, e)
+		s.restored = append(s.restored, GridCellResult{Index: i, Key: e.Key, Cell: e.Cell, Restored: true})
+	}
+	return s, pending, nil
+}
+
 // RunGrid executes every cell of the grid on a worker pool and streams
 // each completed cell through sink (which may be nil). It returns after
 // the whole grid finishes, the context is cancelled, or a cell fails —
 // whichever comes first; on error, cells already streamed remain valid
 // and the rest are abandoned.
+//
+// With Grid.Store set the grid is a durable session: previously
+// completed cells are restored and streamed first (in definition order,
+// marked Restored), only the rest execute, and each fresh completion is
+// persisted before it streams — a cancelled grid's store holds exactly
+// the cells that finished. With Grid.Progress set, fine-grained events
+// narrate execution inside each cell.
 //
 // Parallel execution is result-identical to sequential: each cell's
 // trials depend only on the cell spec (see GridCell), and the Runner's
@@ -99,18 +342,63 @@ type GridSink func(GridCellResult)
 // cells — Observers, a Tune closure mutating captured state — must be
 // safe for concurrent use when Workers > 1.
 func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
+	if err := g.validate(); err != nil {
+		return err
+	}
 	if len(g.Cells) == 0 {
 		return nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
+	var prog *progressEmitter
+	if g.Progress != nil {
+		prog = &progressEmitter{fn: g.Progress}
+	}
+
+	// Durable session: restore persisted cells before anything runs.
+	var sess *gridSession
+	var pending []int
+	if g.Store != nil {
+		var err error
+		sess, pending, err = g.openSession()
+		if err != nil {
+			return err
+		}
+		for _, res := range sess.restored {
+			if prog != nil {
+				cell := g.Cells[res.Index]
+				trials := cell.Trials
+				if trials < 1 {
+					trials = 1
+				}
+				prog.emit(GridProgress{
+					Event: GridCellRestored,
+					Cell:  res.Index, Cells: len(g.Cells),
+					Key: res.Key, Trials: trials,
+				})
+			}
+			if sink != nil {
+				sink(res)
+			}
+		}
+	} else {
+		pending = make([]int, len(g.Cells))
+		for i := range pending {
+			pending[i] = i
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+
 	workers := g.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(g.Cells) {
-		workers = len(g.Cells)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 
 	// Cancelling the derived context on the first error stops the other
@@ -119,8 +407,8 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 	defer cancel()
 
 	var (
-		next      atomic.Int64 // next cell index to claim
-		mu        sync.Mutex   // serializes sink calls and firstErr
+		next      atomic.Int64 // next pending slot to claim
+		mu        sync.Mutex   // serializes sink calls, session saves, firstErr
 		firstErr  error
 		completed int
 		wg        sync.WaitGroup
@@ -131,12 +419,17 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= len(g.Cells) || ctx.Err() != nil {
+				slot := int(next.Add(1))
+				if slot >= len(pending) || ctx.Err() != nil {
 					return
 				}
-				res, err := r.runGridCell(ctx, g.Cells[i], i, g.KeepResults)
+				i := pending[slot]
+				res, err := r.runGridCell(ctx, g.Cells[i], i, len(g.Cells), g.KeepResults, prog)
 				mu.Lock()
+				if err == nil && sess != nil {
+					sess.cells = append(sess.cells, StoredCell{Index: res.Index, Key: res.Key, Cell: res.Cell})
+					err = sess.save()
+				}
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
@@ -146,6 +439,13 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 					return
 				}
 				completed++
+				if prog != nil {
+					prog.emit(GridProgress{
+						Event: GridCellDone,
+						Cell:  res.Index, Cells: len(g.Cells),
+						Key: res.Key, Trials: res.Cell.Trials,
+					})
+				}
 				if sink != nil {
 					sink(res)
 				}
@@ -154,10 +454,22 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 		}()
 	}
 	wg.Wait()
+	if sess != nil && (firstErr != nil || ctx.Err() != nil) {
+		// Flush on any interrupted exit — including cancellations that
+		// surface as a wrapped run error in firstErr, and cell failures.
+		// Every completed cell was persisted as it finished, so this
+		// re-save is a no-op for FileGridStore; it exists to make the
+		// session's contract ("the store holds exactly the completed
+		// cells") hold even for a store that batches its writes. A flush
+		// failure never masks the original error.
+		if err := sess.save(); err != nil && firstErr == nil {
+			return err
+		}
+	}
 	if firstErr != nil {
 		return firstErr
 	}
-	if completed == len(g.Cells) {
+	if completed == len(pending) {
 		// Every cell ran and streamed; a cancellation that landed after
 		// the last one must not make the caller discard a complete grid.
 		return nil
@@ -198,7 +510,7 @@ func (c GridCell) key() GridKey {
 }
 
 // runGridCell executes one cell's trials and aggregates them.
-func (r *Runner) runGridCell(ctx context.Context, cell GridCell, index int, keep bool) (GridCellResult, error) {
+func (r *Runner) runGridCell(ctx context.Context, cell GridCell, index, total int, keep bool, prog *progressEmitter) (GridCellResult, error) {
 	key := cell.key()
 	trials := cell.Trials
 	if trials < 1 {
@@ -217,6 +529,17 @@ func (r *Runner) runGridCell(ctx context.Context, cell GridCell, index int, keep
 	for trial := 0; trial < trials; trial++ {
 		sc := cell.Scenario
 		sc.Seed = cell.Scenario.Seed + int64(trial)*step
+		if prog != nil {
+			// The progress observer rides the same Observer hooks user
+			// scenarios attach through; appending to a copy keeps the
+			// cell's own observer list untouched across trials.
+			tp := &trialProgress{emit: prog.emit, base: GridProgress{
+				Cell: index, Cells: total,
+				Key:   key,
+				Trial: trial, Trials: trials,
+			}}
+			sc.Observers = append(append([]Observer(nil), sc.Observers...), tp)
+		}
 		res, err := r.Run(ctx, sc)
 		if err != nil {
 			return out, fmt.Errorf("grid cell n=%d scheme=%v rate=%g trial=%d: %w",

@@ -1,0 +1,222 @@
+package mpic
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// StoredCell is one persisted cell of a durable grid session: the cell's
+// identity and its completed aggregate. Per-trial Results are never
+// persisted — a checkpoint stores what a resumed run needs to merge, not
+// a run's full trajectory — so cells restored from a store carry a nil
+// GridCellResult.Results even under Grid.KeepResults.
+type StoredCell struct {
+	// Index is the cell's position in Grid.Cells when it completed. On
+	// resume it disambiguates duplicate keys: cells whose (n, scheme,
+	// rate) key appears more than once in a grid reclaim their own entry
+	// instead of the first key match.
+	Index int
+	// Key is the cell's (n, scheme, rate) identity — what resume matches
+	// on, so a checkpoint merges correctly whatever order the engine
+	// completed the cells in.
+	Key GridKey
+	// Cell is the completed aggregate.
+	Cell SweepCell
+}
+
+// GridStore persists the completed cells of a grid session — the
+// checkpoint interface behind Grid.Store. The engine calls Load once
+// before anything runs and Save serially (never concurrently) after each
+// completed cell, so implementations need no locking of their own.
+//
+// The spec string fingerprints the grid: a store must refuse to Load
+// state written under a different spec (merging another grid's cells
+// would silently mislabel results), and should persist the spec so that
+// refusal is possible. Grid.Fingerprint is the engine's default spec;
+// callers with richer identity (CLI flags, experiment names) set
+// Grid.Spec instead.
+type GridStore interface {
+	// Load returns the cells previously persisted under spec, in the
+	// order they were saved. An empty or absent store returns (nil, nil);
+	// a store holding a different spec or an unreadable state returns an
+	// error.
+	Load(spec string) ([]StoredCell, error)
+	// Save atomically replaces the persisted state with the given
+	// completed cells. A failed Save aborts the grid — a durable session
+	// that silently stops being durable is worse than a loud error.
+	Save(spec string, cells []StoredCell) error
+}
+
+// fileGridStoreVersion is the on-disk checkpoint format version. It is
+// bumped when the JSON shape changes incompatibly; FileGridStore rejects
+// checkpoints from other versions instead of guessing at their layout
+// (version 0 — the pre-session format once private to mpicbench — is
+// rejected with the same message).
+const fileGridStoreVersion = 1
+
+// fileGridState is the on-disk JSON shape of FileGridStore.
+type fileGridState struct {
+	// Version is the checkpoint format version (fileGridStoreVersion).
+	Version int
+	// Spec fingerprints the grid the cells belong to.
+	Spec string
+	// Cells are the completed cells, in completion order.
+	Cells []StoredCell
+}
+
+// FileGridStore is the GridStore used by both CLIs and the experiment
+// harness: one JSON file per grid session, atomically rewritten (write
+// to a temporary file, then rename) after every completed cell, so a
+// crash mid-write never corrupts the resume state the file exists to
+// provide. A missing file is an empty session; parent directories are
+// created on first Save.
+type FileGridStore struct {
+	path string
+}
+
+// NewFileGridStore returns a store persisting to the given file path.
+func NewFileGridStore(path string) *FileGridStore {
+	return &FileGridStore{path: path}
+}
+
+// Path returns the file the store persists to.
+func (s *FileGridStore) Path() string { return s.path }
+
+// Load implements GridStore.
+func (s *FileGridStore) Load(spec string) ([]StoredCell, error) {
+	data, err := os.ReadFile(s.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpic: reading checkpoint: %w", err)
+	}
+	var st fileGridState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("mpic: parsing checkpoint %s: %w", s.path, err)
+	}
+	if st.Version != fileGridStoreVersion {
+		return nil, fmt.Errorf("mpic: checkpoint %s has format version %d; this build reads version %d — delete the file to restart the grid",
+			s.path, st.Version, fileGridStoreVersion)
+	}
+	if st.Spec != spec {
+		return nil, fmt.Errorf("mpic: checkpoint %s was written by a different grid (%q); delete it or match the grid (%q)",
+			s.path, st.Spec, spec)
+	}
+	return st.Cells, nil
+}
+
+// Save implements GridStore.
+func (s *FileGridStore) Save(spec string, cells []StoredCell) error {
+	data, err := json.MarshalIndent(fileGridState{
+		Version: fileGridStoreVersion,
+		Spec:    spec,
+		Cells:   cells,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(s.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// gridFingerprintVersion versions the Fingerprint preimage, separately
+// from the on-disk checkpoint format: bumping it invalidates every
+// default-spec session (restart, not rejection), so it changes only when
+// the fingerprinted grid identity itself changes — never for a store's
+// serialization tweak.
+const gridFingerprintVersion = 1
+
+// Fingerprint returns a stable identity string for the grid's resumable
+// content — the default Grid.Spec of a durable session. It covers, per
+// cell, the (n, scheme, rate) key, the trial layout (Trials, SeedStep),
+// and the nameable parts of the scenario: topology family and size (or
+// an explicit graph's hashed edge list), workload family and rounds, noise model
+// and — for the built-in specs — its rate and window, plus the seed and
+// execution flags. The string is filesystem-safe, so stores that keep
+// one file per grid can use it as the file name.
+//
+// Two grids that differ only in ways a fingerprint cannot see — a Tune
+// closure, a custom NoiseFunc's captured parameters, a custom workload
+// builder's behavior — share a fingerprint; callers mixing such grids in
+// one store must set Grid.Spec to something that tells them apart.
+// (Within one grid this does not matter: resume matches cells by key and
+// index, and the spec only guards against resuming a different grid.)
+func (g Grid) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mpic-grid-v%d cells=%d\n", gridFingerprintVersion, len(g.Cells))
+	for _, c := range g.Cells {
+		k := c.key()
+		fmt.Fprintf(h, "key=%d/%d/%g trials=%d step=%d %s\n",
+			k.N, k.Scheme, k.Rate, c.Trials, c.SeedStep, c.Scenario.fingerprint())
+	}
+	return fmt.Sprintf("g%d-%x", len(g.Cells), h.Sum(nil)[:8])
+}
+
+// fingerprint renders the scenario's stable, nameable identity for
+// Grid.Fingerprint. Closures (Tune, custom builders) are outside its
+// reach by design — see the Fingerprint doc.
+func (sc Scenario) fingerprint() string {
+	topo := "none"
+	switch {
+	case sc.Topology.Graph != nil:
+		// An explicit graph is concrete data: hash its (deterministically
+		// sorted) edge list, so two different graphs on the same node and
+		// edge counts never share a fingerprint and a stale session is
+		// rejected instead of silently restored.
+		g := sc.Topology.Graph
+		eh := sha256.New()
+		for _, e := range g.Edges() {
+			fmt.Fprintf(eh, "%d-%d;", e.U, e.V)
+		}
+		topo = fmt.Sprintf("graph(n=%d,m=%d,%x)", g.N(), g.M(), eh.Sum(nil)[:8])
+	case sc.Topology.Build != nil:
+		topo = fmt.Sprintf("custom(n=%d)", sc.Topology.N)
+	case sc.Topology.Name != "":
+		topo = fmt.Sprintf("%s(n=%d)", sc.Topology.Name, sc.Topology.N)
+	}
+	wl := sc.Workload.Name
+	switch {
+	case sc.Workload.Protocol != nil:
+		wl = "custom-protocol"
+	case sc.Workload.Build != nil:
+		wl = "custom-build"
+	case wl == "":
+		wl = "random"
+	}
+	return fmt.Sprintf("topo=%s wl=%s/%d scheme=%d noise=%s seed=%d iters=%d faithful=%t inc=%t wb=%g",
+		topo, wl, sc.Workload.Rounds, sc.Scheme, describeNoise(sc.Noise),
+		sc.Seed, sc.IterFactor, sc.Faithful, sc.IncrementalHash, sc.WhiteBoxRate)
+}
+
+// describeNoise renders a noise spec for fingerprinting: the built-in
+// specs expose their full parameterization, anything else its name.
+func describeNoise(n NoiseSpec) string {
+	switch s := n.(type) {
+	case nil:
+		return "none"
+	case RandomNoiseSpec:
+		return fmt.Sprintf("random(%g)", s.Rate)
+	case BurstSpec:
+		link := "rand"
+		if s.Link != nil {
+			link = fmt.Sprintf("%d>%d", s.Link.From, s.Link.To)
+		}
+		return fmt.Sprintf("burst(%g,link=%s,start=%d,len=%d)", s.Rate, link, s.Start, s.Length)
+	case AdaptiveSpec:
+		return fmt.Sprintf("adaptive(%g,per=%d)", s.Rate, s.PerChunk)
+	default:
+		return n.NoiseName()
+	}
+}

@@ -1,0 +1,475 @@
+package mpic_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpic"
+)
+
+// sessionGrid is the durable-session test grid: enough cells that a
+// cancellation lands mid-flight.
+func sessionGrid(t *testing.T) mpic.Grid {
+	t.Helper()
+	grid, err := mpic.Sweep{
+		Base:     gridBase(),
+		Rates:    []float64{0, 0.001, 0.002, 0.003, 0.004, 0.005},
+		Trials:   2,
+		SeedStep: 100,
+	}.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid
+}
+
+// readStore decodes a FileGridStore file for assertions.
+func readStore(t *testing.T, path string) (spec string, cells []json.RawMessage) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state struct {
+		Version int
+		Spec    string
+		Cells   []json.RawMessage
+	}
+	if err := json.Unmarshal(data, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Version != 1 {
+		t.Fatalf("store version = %d, want 1", state.Version)
+	}
+	return state.Spec, state.Cells
+}
+
+// TestGridCancelThenResume is the durable-session pin: cancel a parallel
+// grid mid-flight, assert the store holds exactly the cells that
+// completed, resume, and require the merged result bit-identical to an
+// uninterrupted run.
+func TestGridCancelThenResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.json")
+	grid := sessionGrid(t)
+	grid.Workers = 2
+	grid.Store = mpic.NewFileGridStore(path)
+
+	runner := mpic.NewRunner()
+	defer runner.Close()
+
+	// Uninterrupted reference, same runner, no store.
+	ref := sessionGrid(t)
+	ref.Workers = 2
+	want, err := runner.CollectGrid(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel after the second completed cell streams.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamed := 0
+	err = runner.RunGrid(ctx, grid, func(res mpic.GridCellResult) {
+		if res.Restored {
+			t.Error("fresh session streamed a restored cell")
+		}
+		streamed++
+		if streamed == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled grid returned %v, want context.Canceled", err)
+	}
+	if streamed >= len(grid.Cells) {
+		t.Fatalf("all %d cells streamed before cancellation took effect", streamed)
+	}
+
+	// The store holds exactly the completed cells — no partials, nothing
+	// from the cancelled in-flight runs.
+	spec, saved := readStore(t, path)
+	if spec != grid.Fingerprint() {
+		t.Errorf("store spec = %q, want the grid fingerprint %q", spec, grid.Fingerprint())
+	}
+	if len(saved) != streamed {
+		t.Fatalf("store holds %d cells, sink saw %d completions", len(saved), streamed)
+	}
+
+	// Resume: restored cells replay, the rest execute, and the merged
+	// grid is bit-identical to the uninterrupted run.
+	restored := 0
+	got, err := runner.CollectGrid(context.Background(), mpic.Grid{
+		Cells:   grid.Cells,
+		Workers: 2,
+		Store:   mpic.NewFileGridStore(path),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Restored {
+			restored++
+		}
+		if !reflect.DeepEqual(got[i].Cell, want[i].Cell) {
+			t.Errorf("cell %d differs after resume:\nresumed:       %+v\nuninterrupted: %+v", i, got[i].Cell, want[i].Cell)
+		}
+	}
+	if restored != streamed {
+		t.Errorf("resume restored %d cells, checkpoint held %d", restored, streamed)
+	}
+
+	// A third run restores everything and executes nothing.
+	all, err := runner.CollectGrid(context.Background(), mpic.Grid{
+		Cells: grid.Cells,
+		Store: mpic.NewFileGridStore(path),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if !all[i].Restored {
+			t.Errorf("cell %d re-ran on a complete checkpoint", i)
+		}
+	}
+}
+
+// recordingStore counts Save calls and remembers the cell counts it was
+// handed — a stand-in for a GridStore that batches its writes.
+type recordingStore struct {
+	saves []int
+}
+
+func (r *recordingStore) Load(string) ([]mpic.StoredCell, error) { return nil, nil }
+func (r *recordingStore) Save(_ string, cells []mpic.StoredCell) error {
+	r.saves = append(r.saves, len(cells))
+	return nil
+}
+
+// TestGridFlushOnCancellation pins the session contract for pluggable
+// stores: an interrupted grid — including a cancellation that surfaces
+// as a wrapped run error from an in-flight cell — gets one final Save
+// carrying every completed cell, so a batching store cannot lose the
+// tail on Ctrl-C.
+func TestGridFlushOnCancellation(t *testing.T) {
+	grid := sessionGrid(t)
+	grid.Workers = 2
+	store := &recordingStore{}
+	grid.Store = store
+
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	err := runner.RunGrid(ctx, grid, func(mpic.GridCellResult) {
+		delivered++
+		if delivered == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if len(store.saves) != delivered+1 {
+		t.Fatalf("store saw %d saves for %d completed cells, want per-cell saves plus one flush", len(store.saves), delivered)
+	}
+	if last := store.saves[len(store.saves)-1]; last != delivered {
+		t.Errorf("final flush carried %d cells, want all %d completed", last, delivered)
+	}
+}
+
+// TestFileGridStoreContract pins the store's edges: a missing file is an
+// empty session, a spec mismatch and an unknown format version are loud
+// errors, and Save round-trips through Load.
+func TestFileGridStoreContract(t *testing.T) {
+	dir := t.TempDir()
+	store := mpic.NewFileGridStore(filepath.Join(dir, "sub", "s.json"))
+	if cells, err := store.Load("spec"); err != nil || cells != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", cells, err)
+	}
+	saved := []mpic.StoredCell{{
+		Index: 3,
+		Key:   mpic.GridKey{N: 4, Scheme: mpic.AlgorithmA, Rate: 0.5},
+		Cell:  mpic.SweepCell{N: 4, Scheme: mpic.AlgorithmA, Rate: 0.5, Trials: 2, Successes: 1, Blowups: []float64{1.5, 2.5}},
+	}}
+	if err := store.Save("spec", saved); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load("spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, saved) {
+		t.Errorf("round-trip mismatch:\nsaved:  %+v\nloaded: %+v", saved, got)
+	}
+	if _, err := store.Load("other-spec"); err == nil || !strings.Contains(err.Error(), "different grid") {
+		t.Errorf("spec mismatch: got %v", err)
+	}
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"Spec":"spec","Cells":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpic.NewFileGridStore(legacy).Load("spec"); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("versionless checkpoint: got %v", err)
+	}
+}
+
+// TestGridValidation pins the spec-error contract: negative Workers and
+// negative Trials are rejected before anything runs, while the zero
+// values keep their documented clamps (GOMAXPROCS and 1).
+func TestGridValidation(t *testing.T) {
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	ran := 0
+	err := runner.RunGrid(context.Background(), mpic.Grid{
+		Cells:   []mpic.GridCell{{Scenario: gridBase()}},
+		Workers: -1,
+	}, func(mpic.GridCellResult) { ran++ })
+	if err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("negative Workers: got %v", err)
+	}
+	err = runner.RunGrid(context.Background(), mpic.Grid{
+		Cells: []mpic.GridCell{{Scenario: gridBase()}, {Scenario: gridBase(), Trials: -2}},
+	}, func(mpic.GridCellResult) { ran++ })
+	if err == nil || !strings.Contains(err.Error(), "cell 1") || !strings.Contains(err.Error(), "Trials") {
+		t.Errorf("negative Trials: got %v", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d cells ran despite invalid specs", ran)
+	}
+	// Sweep surfaces the same validation through its Workers knob.
+	if _, err := runner.Sweep(context.Background(), mpic.Sweep{Base: gridBase(), Workers: -3}); err == nil {
+		t.Error("negative Sweep.Workers accepted")
+	}
+	// The documented clamps still hold: zero Workers and zero Trials run.
+	cells, err := runner.CollectGrid(context.Background(), mpic.Grid{
+		Cells: []mpic.GridCell{{Scenario: gridBase()}},
+	})
+	if err != nil || cells[0].Cell.Trials != 1 {
+		t.Errorf("zero-value clamps broken: cells=%+v err=%v", cells, err)
+	}
+}
+
+// TestGridProgressStream pins the fine-grained progress contract: every
+// trial narrates start → iterations → done, events arrive while the
+// grid is still executing (before later cells complete), and cell
+// completions close each cell's stream.
+func TestGridProgressStream(t *testing.T) {
+	grid, err := mpic.Sweep{
+		Base:   gridBase(),
+		Rates:  []float64{0, 0.001},
+		Trials: 2,
+	}.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Workers = 1 // one goroutine: progress and sink order is total
+
+	type step struct {
+		event mpic.GridEvent
+		cell  int
+		trial int
+		sink  bool
+	}
+	var steps []step
+	grid.Progress = func(p mpic.GridProgress) {
+		if p.Cells != len(grid.Cells) {
+			t.Errorf("event %v reports %d cells, want %d", p.Event, p.Cells, len(grid.Cells))
+		}
+		switch p.Event {
+		case mpic.GridTrialStart:
+			if p.Info == nil || p.Info.Iterations <= 0 {
+				t.Errorf("trial start without an iteration budget: %+v", p.Info)
+			}
+		case mpic.GridIteration:
+			if p.Stats == nil || p.Stats.Iteration != p.Iteration {
+				t.Errorf("iteration event stats mismatch: %+v", p)
+			}
+		case mpic.GridTrialDone:
+			if p.Result == nil {
+				t.Error("trial done without a result")
+			}
+		}
+		steps = append(steps, step{event: p.Event, cell: p.Cell, trial: p.Trial})
+	}
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	delivered := 0
+	err = runner.RunGrid(context.Background(), grid, func(res mpic.GridCellResult) {
+		steps = append(steps, step{cell: res.Index, sink: true})
+		delivered++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d cells, want 2", delivered)
+	}
+
+	// Progress is observed before grid completion: cell 0's iteration
+	// events all precede cell 1's first event and the final delivery.
+	firstOfCell1 := -1
+	lastDelivery := -1
+	iterationsCell0 := 0
+	for i, s := range steps {
+		if s.cell == 1 && firstOfCell1 < 0 {
+			firstOfCell1 = i
+		}
+		if s.sink {
+			lastDelivery = i
+		}
+		if !s.sink && s.cell == 0 && s.event == mpic.GridIteration {
+			iterationsCell0++
+			if firstOfCell1 >= 0 {
+				t.Fatal("cell 0 iteration event after cell 1 started")
+			}
+		}
+	}
+	if iterationsCell0 == 0 {
+		t.Fatal("no iteration events for cell 0")
+	}
+	if firstOfCell1 < 0 || firstOfCell1 >= lastDelivery {
+		t.Fatalf("no progress observed before grid completion (cell 1 starts at %d, last delivery %d)", firstOfCell1, lastDelivery)
+	}
+
+	// Per trial: start, ≥1 iteration, done — in order; per cell a final
+	// cell-done before the sink delivery.
+	for cell := 0; cell < 2; cell++ {
+		for trial := 0; trial < 2; trial++ {
+			var kinds []mpic.GridEvent
+			for _, s := range steps {
+				if !s.sink && s.cell == cell && s.trial == trial && s.event != mpic.GridCellDone {
+					kinds = append(kinds, s.event)
+				}
+			}
+			if len(kinds) < 3 || kinds[0] != mpic.GridTrialStart || kinds[len(kinds)-1] != mpic.GridTrialDone {
+				t.Errorf("cell %d trial %d event shape wrong: %v", cell, trial, kinds)
+			}
+			for _, k := range kinds[1 : len(kinds)-1] {
+				if k != mpic.GridIteration {
+					t.Errorf("cell %d trial %d interior event %v, want iteration", cell, trial, k)
+				}
+			}
+		}
+		cellDone := false
+		for i, s := range steps {
+			if !s.sink && s.cell == cell && s.event == mpic.GridCellDone {
+				cellDone = true
+				if i+1 >= len(steps) || !steps[i+1].sink || steps[i+1].cell != cell {
+					t.Errorf("cell %d done event not immediately followed by its delivery", cell)
+				}
+			}
+		}
+		if !cellDone {
+			t.Errorf("cell %d never emitted cell-done", cell)
+		}
+	}
+}
+
+// TestProgressLogAndRestoredEvents pins the ready-made sink's narration,
+// including the restored-cell line on resume.
+func TestProgressLogAndRestoredEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	grid, err := mpic.Sweep{Base: gridBase(), Rates: []float64{0, 0.001}}.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Store = mpic.NewFileGridStore(path)
+	var log strings.Builder
+	grid.Progress = mpic.NewProgressLog(&log)
+
+	runner := mpic.NewRunner()
+	defer runner.Close()
+	if err := runner.RunGrid(context.Background(), grid, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trial 1/1 started", "iter 0:", "trial 1/1 done: SUCCESS", "done (1 trials)"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("progress log missing %q:\n%s", want, log.String())
+		}
+	}
+	log.Reset()
+	if err := runner.RunGrid(context.Background(), grid, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "restored from checkpoint") {
+		t.Errorf("resumed progress log missing restore lines:\n%s", log.String())
+	}
+	if strings.Contains(log.String(), "trial 1/1 started") {
+		t.Errorf("fully restored session still executed trials:\n%s", log.String())
+	}
+}
+
+// TestGridFingerprint pins the default spec's sensitivity: the same grid
+// fingerprints identically across constructions, and every axis a
+// checkpoint must not survive — seed, trials, noise rate, scheme —
+// changes it.
+func TestGridFingerprint(t *testing.T) {
+	mk := func(mut func(*mpic.Sweep)) string {
+		sw := mpic.Sweep{Base: gridBase(), Rates: []float64{0, 0.001}, Trials: 2}
+		if mut != nil {
+			mut(&sw)
+		}
+		grid, err := sw.Grid()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grid.Fingerprint()
+	}
+	base := mk(nil)
+	if again := mk(nil); again != base {
+		t.Errorf("same grid fingerprints differ: %q vs %q", base, again)
+	}
+	if strings.ContainsAny(base, "/\\ ") {
+		t.Errorf("fingerprint %q is not filesystem-safe", base)
+	}
+	// Two structurally different explicit graphs with equal node and
+	// edge counts (a path and a star, both n=4 m=3) must not share a
+	// fingerprint — a stale session would otherwise silently resume.
+	mkGraph := func(edges [][2]int) *mpic.Graph {
+		g := mpic.NewGraph(4)
+		for _, e := range edges {
+			if err := g.AddEdge(mpic.Node(e[0]), mpic.Node(e[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	graphFP := func(g *mpic.Graph) string {
+		sc := gridBase()
+		sc.Topology = mpic.GraphTopology(g)
+		return mpic.Grid{Cells: []mpic.GridCell{{Scenario: sc}}}.Fingerprint()
+	}
+	path := graphFP(mkGraph([][2]int{{0, 1}, {1, 2}, {2, 3}}))
+	star := graphFP(mkGraph([][2]int{{0, 1}, {0, 2}, {0, 3}}))
+	if path == star {
+		t.Error("fingerprint blind to explicit-graph structure (path vs star, same n and m)")
+	}
+	if again := graphFP(mkGraph([][2]int{{0, 1}, {1, 2}, {2, 3}})); again != path {
+		t.Errorf("same explicit graph fingerprints differ: %q vs %q", path, again)
+	}
+	for name, mut := range map[string]func(*mpic.Sweep){
+		"seed":    func(sw *mpic.Sweep) { sw.Base.Seed++ },
+		"trials":  func(sw *mpic.Sweep) { sw.Trials = 3 },
+		"rates":   func(sw *mpic.Sweep) { sw.Rates = []float64{0, 0.002} },
+		"scheme":  func(sw *mpic.Sweep) { sw.Schemes = []mpic.Scheme{mpic.AlgorithmB} },
+		"n":       func(sw *mpic.Sweep) { sw.N = []int{5} },
+		"budget":  func(sw *mpic.Sweep) { sw.Base.IterFactor = 99 },
+		"noise":   func(sw *mpic.Sweep) { sw.Base.Noise = mpic.Adaptive(0) },
+		"rounds":  func(sw *mpic.Sweep) { sw.Base.Workload = mpic.RandomTraffic(41) },
+		"seedstp": func(sw *mpic.Sweep) { sw.SeedStep = 7 },
+	} {
+		if mk(mut) == base {
+			t.Errorf("fingerprint blind to %s", name)
+		}
+	}
+}

@@ -27,6 +27,10 @@ type RunInfo struct {
 	ExchangeRounds int
 	// TotalRounds is the fixed length of the whole protocol.
 	TotalRounds int
+	// Iterations is the run's iteration budget (IterFactor·|Π|; with
+	// early stop the run may execute fewer) — what a progress consumer
+	// divides by to report "iteration i of N".
+	Iterations int
 	// PhaseOracle maps a round to (phase, iteration); phases use the
 	// trace.Phase numbering.
 	PhaseOracle adversary.PhaseOracle
@@ -213,6 +217,7 @@ func Run(opts Options) (*Result, error) {
 		info := RunInfo{
 			ExchangeRounds: lay.exchangeRounds,
 			TotalRounds:    lay.totalRounds(),
+			Iterations:     lay.iters,
 			PhaseOracle: func(round int) (int, int) {
 				it, ph, _ := lay.phaseAt(round)
 				return int(ph), it

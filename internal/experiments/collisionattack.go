@@ -33,7 +33,7 @@ func CollisionAttack(cfg Config) (*Table, error) {
 		base.Tune = func(p *mpic.Params) { p.HashBits = tau }
 		cells[i] = gridCell(base, cfg)
 	}
-	results, err := runGrid(cells, false)
+	results, err := runGrid(cfg, fmt.Sprintf("E-F12 taus=%v wb=0.02", taus), cells, false)
 	if err != nil {
 		return nil, err
 	}

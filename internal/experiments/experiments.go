@@ -15,8 +15,10 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"strings"
 
 	"mpic"
@@ -35,6 +37,17 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sizes and trial counts for use inside benchmarks.
 	Quick bool
+	// Checkpoint, when non-empty, is a directory of durable grid
+	// sessions: every experiment grid persists its completed cells there
+	// (one fingerprint-named file per grid, see mpic.FileGridStore) and
+	// restores them on the next run with the same Config — an
+	// interrupted `-experiment all` resumes the tables it finished
+	// instead of restarting from zero. Restored cells are bit-identical
+	// to re-run ones (the engine's determinism guarantee), so
+	// checkpointed and fresh tables render the same rows. Grids that
+	// keep per-trial trajectories (KeepResults) always re-run: a
+	// checkpoint stores aggregates, not full Results.
+	Checkpoint string
 }
 
 // DefaultConfig returns the configuration used to produce EXPERIMENTS.md.
@@ -183,11 +196,26 @@ func noiseCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float6
 	return gridCell(cellScenario(scheme, g, noise, cfg, iterFactor), cfg), nil
 }
 
-// runGrid executes an experiment's cells as one grid on the shared
-// runner's streaming engine and returns the completed cells in
-// definition order. keep retains each trial's full result (for
+// runGrid executes an experiment's cells as one durable grid session on
+// the shared runner's streaming engine and returns the completed cells
+// in definition order. keep retains each trial's full result (for
 // experiments that read per-run trajectories such as the potential or
-// the round count).
+// the round count); such grids skip the checkpoint store, since restored
+// cells carry aggregates only.
+//
+// salt is the experiment's own contribution to the session identity: at
+// least the table ID, plus every parameter the grid fingerprint cannot
+// see because it lives in a closure — Tune variants (ablation, seed
+// kinds, hash widths), NoiseFunc rates, UseProtocol shapes. It is folded
+// into Grid.Spec and the session file name, so editing those parameters
+// opens a fresh session instead of silently restoring stale cells under
+// an unchanged fingerprint.
+//
+// With cfg.Checkpoint set, the grid persists each completed cell into a
+// per-grid file, so re-running the same experiment under the same Config
+// resumes instead of restarting — Workers stays 1, which also makes the
+// saved completion order the definition order (duplicate-key cells, e.g.
+// ablation variants, resume exactly).
 //
 // Workers is pinned to 1: the tables' ElapsedMS feeds the `-compare`
 // wall-clock regression gate, and parallel cell execution would make
@@ -195,14 +223,36 @@ func noiseCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float6
 // could hide behind a multicore speedup). The engine's parallelism is
 // exercised by the CLIs and the grid tests; lifting this pin needs the
 // artefact to record its worker count first (see ROADMAP).
-func runGrid(cells []mpic.GridCell, keep bool) ([]mpic.GridCellResult, error) {
-	return sharedRunner.CollectGrid(context.Background(), mpic.Grid{Cells: cells, Workers: 1, KeepResults: keep})
+func runGrid(cfg Config, salt string, cells []mpic.GridCell, keep bool) ([]mpic.GridCellResult, error) {
+	g := mpic.Grid{Cells: cells, Workers: 1, KeepResults: keep}
+	if cfg.Checkpoint != "" && !keep {
+		g.Spec = salt + " " + g.Fingerprint()
+		sum := sha256.Sum256([]byte(g.Spec))
+		g.Store = mpic.NewFileGridStore(filepath.Join(cfg.Checkpoint,
+			fmt.Sprintf("%s-%x.json", fileToken(salt), sum[:8])))
+	}
+	return sharedRunner.CollectGrid(context.Background(), g)
+}
+
+// fileToken reduces a session salt to a readable file-name prefix: its
+// first field (the table ID by convention), stripped to portable
+// characters.
+func fileToken(salt string) string {
+	token, _, _ := strings.Cut(salt, " ")
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, token)
 }
 
 // runCells is runGrid for experiments that only need the per-cell
 // aggregates.
-func runCells(cells []mpic.GridCell) ([]cell, error) {
-	results, err := runGrid(cells, false)
+func runCells(cfg Config, salt string, cells []mpic.GridCell) ([]cell, error) {
+	results, err := runGrid(cfg, salt, cells, false)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,11 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -61,6 +65,98 @@ func TestSweepReproducesExperimentTable(t *testing.T) {
 				t.Errorf("row %d col %d: table %q != direct sweep %q", i, j, got[j], want[j])
 			}
 		}
+	}
+}
+
+// TestExperimentCheckpointResume pins the harness's durable sessions: a
+// checkpointed table renders the same rows as an uncheckpointed one, an
+// interrupted session (simulated by truncating the persisted cells)
+// resumes to identical rows, and a fully persisted session replays
+// without re-running anything.
+func TestExperimentCheckpointResume(t *testing.T) {
+	cfg := Config{Trials: 2, Seed: 3, Quick: true}
+	fresh, err := CCVsNoise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint = t.TempDir()
+	first, err := CCVsNoise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Rows, fresh.Rows) {
+		t.Fatalf("checkpointed rows differ from fresh:\n%v\n%v", first.Rows, fresh.Rows)
+	}
+	entries, err := os.ReadDir(cfg.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d session files, want 1", len(entries))
+	}
+
+	// Simulate an interruption: drop the last two persisted cells.
+	path := filepath.Join(cfg.Checkpoint, entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state struct {
+		Version int
+		Spec    string
+		Cells   []json.RawMessage
+	}
+	if err := json.Unmarshal(data, &state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Cells) != 5 {
+		t.Fatalf("session holds %d cells, want 5", len(state.Cells))
+	}
+	state.Cells = state.Cells[:3]
+	truncated, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := CCVsNoise(cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !reflect.DeepEqual(resumed.Rows, fresh.Rows) {
+		t.Fatalf("resumed rows differ from fresh:\n%v\n%v", resumed.Rows, fresh.Rows)
+	}
+
+	// Fully persisted: the table replays from the store alone.
+	replayed, err := CCVsNoise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed.Rows, fresh.Rows) {
+		t.Fatalf("replayed rows differ from fresh:\n%v\n%v", replayed.Rows, fresh.Rows)
+	}
+
+	// A different Config must open a different session, not poison this
+	// one (per-grid files are fingerprint-named).
+	other := cfg
+	other.Seed = 4
+	if _, err := CCVsNoise(other); err != nil {
+		t.Fatalf("different config in the same checkpoint dir: %v", err)
+	}
+	entries, err = os.ReadDir(cfg.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("checkpoint dir holds %d session files after a second config, want 2", len(entries))
+	}
+
+	// Trajectory experiments (KeepResults grids) bypass the store but
+	// must still run under a checkpointed Config.
+	if _, err := PotentialGrowth(cfg); err != nil {
+		t.Fatalf("KeepResults experiment under checkpointing: %v", err)
 	}
 }
 

@@ -55,7 +55,7 @@ func NoiseSweep(cfg Config) (*Table, error) {
 			cells = append(cells, c)
 		}
 	}
-	measured, err := runCells(cells)
+	measured, err := runCells(cfg, "E-F1", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func RateVsSize(cfg Config) (*Table, error) {
 			cells = append(cells, quiet, noisy)
 		}
 	}
-	measured, err := runCells(cells)
+	measured, err := runCells(cfg, "E-F2", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func CCVsNoise(cfg Config) (*Table, error) {
 		}
 		cells[i] = c
 	}
-	measured, err := runCells(cells)
+	measured, err := runCells(cfg, "E-F3", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +203,7 @@ func Rounds(cfg Config) (*Table, error) {
 	}
 	// The round count lives on the per-trial results, not the aggregate:
 	// keep them.
-	results, err := runGrid(cells, true)
+	results, err := runGrid(cfg, "E-F10", cells, true)
 	if err != nil {
 		return nil, err
 	}

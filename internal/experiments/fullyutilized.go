@@ -35,9 +35,9 @@ func FullyUtilizedCost(cfg Config) (*Table, error) {
 	}
 	var rows []rowSpec
 	var cells []mpic.GridCell
+	const laps, inputBits = 6, 4
 	for _, n := range sizes {
-		laps := 6
-		ring, err := protocol.NewTokenRing(n, laps, protocol.DefaultInputs(n, 4, cfg.Seed))
+		ring, err := protocol.NewTokenRing(n, laps, protocol.DefaultInputs(n, inputBits, cfg.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +52,9 @@ func FullyUtilizedCost(cfg Config) (*Table, error) {
 			}, cfg))
 		}
 	}
-	measured, err := runCells(cells)
+	// The protocols ride UseProtocol closures the grid fingerprint cannot
+	// see; the salt carries their shaping parameters.
+	measured, err := runCells(cfg, fmt.Sprintf("E-F11 sizes=%v laps=%d inputs=%d", sizes, laps, inputBits), cells)
 	if err != nil {
 		return nil, err
 	}

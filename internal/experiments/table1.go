@@ -74,7 +74,7 @@ func Table1(cfg Config) (*Table, error) {
 		}
 		cells[i] = c
 	}
-	measured, err := runCells(cells)
+	measured, err := runCells(cfg, "E-T1", cells)
 	if err != nil {
 		return nil, err
 	}

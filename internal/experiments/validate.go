@@ -60,7 +60,7 @@ func RewindWave(cfg Config) (*Table, error) {
 		})
 		cells = append(cells, oneShot(base), oneShot(noisy))
 	}
-	results, err := runGrid(cells, true)
+	results, err := runGrid(cfg, "E-F4", cells, true)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func PotentialGrowth(cfg Config) (*Table, error) {
 		cells[i] = oneShot(cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg)))
 	}
 	// The potential trajectory lives on the per-run result: keep them.
-	results, err := runGrid(cells, true)
+	results, err := runGrid(cfg, "E-F5", cells, true)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,7 @@ func Collisions(cfg Config) (*Table, error) {
 		}
 		cells[i] = c
 	}
-	measured, err := runCells(cells)
+	measured, err := runCells(cfg, "E-F6", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +225,14 @@ func Ablation(cfg Config) (*Table, error) {
 		}
 		cells[i] = gridCell(base, cfg)
 	}
-	measured, err := runCells(cells)
+	// The variants live in Tune closures the grid fingerprint cannot
+	// see; name them in the session salt so editing them opens a fresh
+	// session instead of restoring stale cells.
+	salt := "E-F7"
+	for _, v := range variants {
+		salt += fmt.Sprintf(" %s(noFlag=%t,noRewind=%t)", v.name, v.noFlag, v.noRewind)
+	}
+	measured, err := runCells(cfg, salt, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +284,13 @@ func DeltaBias(cfg Config) (*Table, error) {
 			cells = append(cells, gridCell(base, cfg))
 		}
 	}
-	measured, err := runCells(cells)
+	// The seed kinds live in Tune closures the grid fingerprint cannot
+	// see; derive the salt from the measured variants themselves.
+	salt := "E-F8 quick-workload"
+	for _, r := range rows {
+		salt += fmt.Sprintf(" %s/%g", r.name, r.mult)
+	}
+	measured, err := runCells(cfg, salt, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +331,7 @@ func SeedAttack(cfg Config) (*Table, error) {
 		})
 		cells[i] = gridCell(cellScenario(core.AlgA, g, noise, cfg, iterBudget(cfg)), cfg)
 	}
-	results, err := runGrid(cells, false)
+	results, err := runGrid(cfg, fmt.Sprintf("E-F9 rates=%v", rates), cells, false)
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,31 @@
 // (mpicbench -sweep, mpicsim -trials) declare cells and let the engine
 // execute them.
 //
+// # Durable sessions
+//
+// A grid becomes a durable, observable session through two Grid options.
+// Setting Store to a GridStore (FileGridStore is the atomic-JSON
+// implementation both CLIs and the experiment harness use) checkpoints
+// the grid: the engine persists every completed cell the moment it
+// finishes, and a re-run restores the persisted cells — streamed first,
+// marked Restored — executing only the rest. Stores are keyed by a spec
+// fingerprint (Grid.Spec, defaulting to Grid.Fingerprint), so a
+// checkpoint written by a different grid is rejected rather than merged.
+// Because every trial's seed is a pure function of its cell's spec, a
+// resumed grid is bit-identical to an uninterrupted one.
+//
+// Setting Progress attaches the grid-level progress stream: serialized
+// GridProgress events — trial starts, per-iteration ticks, trial
+// results, cell completions and restores — built from the same Observer
+// hooks single runs use, so very-slow single cells stay observable from
+// the inside. NewProgressLog is the ready-made line-per-event sink:
+//
+//	grid.Store = mpic.NewFileGridStore("session.json")
+//	grid.Progress = mpic.NewProgressLog(os.Stderr)
+//	err := runner.RunGrid(ctx, grid, sink) // interrupt and re-run freely
+//
+// See examples/progress for the full loop.
+//
 // Every named building block — topology family, workload, noise model —
 // lives in an open registry (RegisterTopology, RegisterWorkload,
 // RegisterNoise), so external packages plug in new ones without touching

@@ -52,6 +52,41 @@ func NewIterationLog(w io.Writer) Observer {
 	})
 }
 
+// NewProgressLog returns a pluggable sink for a grid's progress stream
+// (Grid.Progress): one line per event, prefixed with the cell's position
+// and identity, so very-slow single cells stay observable from the
+// inside — "trial k of cell j, iteration i". Attach it with
+//
+//	grid.Progress = mpic.NewProgressLog(os.Stderr)
+//
+// Iteration lines are emitted for every executed iteration; wrap the
+// returned func to subsample if that is too chatty for the grid at hand.
+func NewProgressLog(w io.Writer) GridProgressFunc {
+	return func(p GridProgress) {
+		id := fmt.Sprintf("cell %d/%d [n=%d %s rate=%g]", p.Cell+1, p.Cells, p.Key.N, p.Key.Scheme, p.Key.Rate)
+		switch p.Event {
+		case GridCellRestored:
+			fmt.Fprintf(w, "%s restored from checkpoint\n", id)
+		case GridTrialStart:
+			fmt.Fprintf(w, "%s trial %d/%d started (budget %d iterations)\n",
+				id, p.Trial+1, p.Trials, p.Info.Iterations)
+		case GridIteration:
+			fmt.Fprintf(w, "%s trial %d/%d iter %d: cc=%d corruptions=%d\n",
+				id, p.Trial+1, p.Trials, p.Iteration,
+				p.Stats.Metrics.CC, p.Stats.Metrics.TotalCorruptions())
+		case GridTrialDone:
+			status := "SUCCESS"
+			if !p.Result.Success {
+				status = "FAILURE"
+			}
+			fmt.Fprintf(w, "%s trial %d/%d done: %s blowup=%.2f iterations=%d\n",
+				id, p.Trial+1, p.Trials, status, p.Result.Blowup, p.Result.Iterations)
+		case GridCellDone:
+			fmt.Fprintf(w, "%s done (%d trials)\n", id, p.Trials)
+		}
+	}
+}
+
 // arenaLog is the observer sink behind NewArenaLog.
 type arenaLog struct {
 	w io.Writer
