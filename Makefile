@@ -18,7 +18,7 @@ SWEEP_PARALLEL ?= 0
 # persisted, and re-running the same grid resumes instead of restarting.
 SWEEP_CHECKPOINT ?= SWEEP.ckpt.json
 
-.PHONY: verify tier1 race examples bench compare sweep cover
+.PHONY: verify tier1 race examples bench compare sweep cover chaos
 
 verify: tier1 race examples
 
@@ -52,7 +52,14 @@ bench:
 # Regenerate the experiment artefact and gate it against the previous
 # PR's (fails on >10% wall-clock regression).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR5.json -compare BENCH_PR4.json
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR6.json -compare BENCH_PR5.json
+
+# The chaos soak under the race detector: the registry-cartesian grid as
+# a durable parallel session with deterministic injected store faults,
+# torn checkpoint writes, cell panics, and a mid-flight cancellation —
+# must stay bit-identical to a clean sequential run.
+chaos:
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run TestChaosGridSoak -v .
 
 # Exercise the streaming grid engine on a small n × scheme × rate grid;
 # rows print as cells complete and land in the resumable checkpoint.

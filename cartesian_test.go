@@ -16,15 +16,18 @@ import (
 // noise family whose wiring assumes a particular link set) — including
 // entries registered by external packages, which share the registries
 // in this test binary.
-func TestRegistryCartesianGrid(t *testing.T) {
+// cartesianCells builds one tiny cell per registered topology ×
+// workload × noise triple — the shared work-list of the cartesian fuzz
+// pass and the chaos soak. fixedSkipped counts the fixed-topology
+// workload combinations the scenario layer would reject by contract.
+func cartesianCells(t *testing.T) (cells []GridCell, labels []string, fixedSkipped int) {
+	t.Helper()
 	const n = 4
-	var cells []GridCell
-	var labels []string
-	fixedSkipped := 0
 	for _, topoName := range TopologyNames() {
 		if _, err := NewTopology(topoName, n); err != nil {
 			// External families may legitimately reject this size; the
-			// built-in seed entries may not (checked below).
+			// built-in seed entries may not (checked by the caller's size
+			// floor).
 			t.Logf("topology %q rejected n=%d: %v", topoName, n, err)
 			continue
 		}
@@ -55,6 +58,11 @@ func TestRegistryCartesianGrid(t *testing.T) {
 			}
 		}
 	}
+	return cells, labels, fixedSkipped
+}
+
+func TestRegistryCartesianGrid(t *testing.T) {
+	cells, labels, fixedSkipped := cartesianCells(t)
 	// The built-in registries alone span 6 topologies × (3 free + 3
 	// fixed-topology) workloads × 4 noise models.
 	if want := 6*3*4 + 3*4; len(cells) < want {

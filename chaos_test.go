@@ -1,0 +1,163 @@
+package mpic
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"mpic/internal/faults"
+)
+
+// TestChaosGridSoak is the capstone fault-tolerance pin (`make chaos`
+// runs it under -race): the full registry-cartesian grid executes as a
+// durable parallel session while everything that can go wrong does, on a
+// deterministic seed-driven schedule —
+//
+//   - the session store injects Save/Load errors and tears checkpoint
+//     files mid-JSON after "successful" writes (absorbed by
+//     RetryingGridStore and FileGridStore's last-good-state recovery),
+//   - a fault plan makes a fraction of the cells panic mid-run on their
+//     leading attempts (absorbed by the engine's panic recovery and
+//     Grid.Retry),
+//   - the first pass is cancelled mid-flight and the primary checkpoint
+//     corrupted behind its back (absorbed by .bak recovery on resume).
+//
+// Despite all of it, the finished grid must be bit-identical to a clean
+// sequential run — the repo's core determinism contract extended to the
+// failure domain.
+func TestChaosGridSoak(t *testing.T) {
+	cells, labels, _ := cartesianCells(t)
+	runner := NewRunner()
+	defer runner.Close()
+
+	// Clean sequential baseline: no store, no faults, one worker.
+	want, err := runner.CollectGrid(context.Background(), Grid{Cells: cells, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The faulty session store: FileGridStore at the bottom, deterministic
+	// fault injection in the middle, bounded retries on top. Torn writes
+	// truncate the checkpoint mid-JSON — the exact shape a crash during a
+	// non-atomic write would leave.
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	inner := NewFileGridStore(path)
+	var recoveries []error
+	inner.OnRecovery = func(reason error) { recoveries = append(recoveries, reason) }
+	faulty := faults.NewFaultyStore[StoredCell](inner, faults.StoreFaults{
+		Seed:          42,
+		SaveErrorRate: 0.2,
+		LoadErrorRate: 0.2,
+		TornRate:      0.15,
+	})
+	faulty.Tear = func() error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data[:len(data)/2], 0o644)
+	}
+	store := &RetryingGridStore{Inner: faulty, MaxAttempts: 8, Sleep: func(time.Duration) {}}
+
+	// The cell fault plan: roughly a third of the cells panic mid-run on
+	// up to two leading attempts — always fewer than the retry budget, so
+	// every cell eventually completes.
+	plan := faults.CellPlan{Seed: 99, PanicRate: 0.35, MaxPanics: 2}
+	afflicted := 0
+	for i := range cells {
+		if plan.Panics(i) > 0 {
+			afflicted++
+		}
+	}
+	if afflicted == 0 {
+		t.Fatal("fault plan afflicts no cells; the soak would prove nothing")
+	}
+	// Fault agents are stateful (they count down their panic budget), so
+	// every pass gets a fresh grid with fresh agents.
+	makeGrid := func() Grid {
+		cc := make([]GridCell, len(cells))
+		for i, c := range cells {
+			sc := c.Scenario
+			sc.Observers = append(append([]Observer(nil), sc.Observers...), plan.Observer(i))
+			c.Scenario = sc
+			cc[i] = c
+		}
+		return Grid{
+			Cells: cc, Workers: 4,
+			Store: store, Spec: "chaos-soak",
+			Retry: RetryPolicy{MaxAttempts: 3, JitterSeed: 7, Sleep: func(time.Duration) {}},
+		}
+	}
+
+	// Pass 1: cancel mid-flight, a third of the way through.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamed := 0
+	err = runner.RunGrid(ctx, makeGrid(), func(GridCellResult) {
+		streamed++
+		if streamed == len(cells)/3 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled pass reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pass returned %v, want a context.Canceled-derived error", err)
+	}
+
+	// Corrupt the primary checkpoint behind the session's back — the
+	// crash-after-torn-write scenario. Resume must fall back to the .bak
+	// last good state, not abort and not silently restart from zero.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(inner.BackupPath()); err != nil {
+		t.Fatalf("no backup to recover from after %d saves: %v", streamed, err)
+	}
+
+	// Pass 2: run to completion under the same fault schedule.
+	got, err := runner.CollectGrid(context.Background(), makeGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recoveries) == 0 {
+		t.Error("torn primary did not trigger last-good-state recovery")
+	}
+	restored := 0
+	for i := range want {
+		if got[i].Restored {
+			restored++
+		}
+		if got[i].Err != nil {
+			t.Fatalf("%s: cell failed despite retry budget: %v", labels[i], got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Cell, want[i].Cell) {
+			t.Errorf("%s: chaos run diverged from clean sequential run:\n got %+v\nwant %+v",
+				labels[i], got[i].Cell, want[i].Cell)
+		}
+	}
+	if restored == 0 {
+		t.Error("resume restored nothing; the session store never held good state")
+	}
+	if restored == len(want) {
+		t.Error("resume restored everything; the corruption wound back no cells")
+	}
+
+	// The schedule must actually have injected faults in every stream —
+	// otherwise the soak silently stopped soaking.
+	st := faulty.Stats()
+	if st.SaveErrors == 0 || st.Tears == 0 {
+		t.Errorf("store fault schedule injected nothing: %+v", st)
+	}
+	t.Logf("chaos soak: %d cells (%d afflicted by panics), %d restored on resume, %d store recoveries, store stats %+v",
+		len(cells), afflicted, restored, len(recoveries), st)
+}

@@ -30,6 +30,13 @@
 //
 //	mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B -sweep-rates 0,0.002 -trials 2
 //
+// The -retries flag gives every failed grid cell that many extra
+// attempts under deterministic backoff (retried results are
+// bit-identical to first-try ones); in sweep mode -fail-fast=false
+// additionally quarantines cells that exhaust the budget — the grid
+// finishes, failed cells print as ERROR rows, and the command exits
+// with code 3 (partial success) instead of 1 (hard failure).
+//
 // The -sweep-checkpoint flag makes long grids resumable through the
 // library's durable-session layer (mpic.FileGridStore): after every
 // completed cell the named JSON file is atomically rewritten with all
@@ -47,6 +54,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,11 +66,21 @@ import (
 	"mpic/internal/experiments"
 )
 
+// Exit codes: 0 — clean success; 3 — a -sweep grid in quarantine mode
+// (-fail-fast=false) finished with failed cells (partial success: the
+// printed healthy rows are valid); 1 — hard failure (bad flags, a run
+// error in fail-fast mode, a wall-clock regression under -compare).
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "mpicbench:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "mpicbench:", err)
+	var gf *mpic.GridFailure
+	if errors.As(err, &gf) {
+		os.Exit(3)
+	}
+	os.Exit(1)
 }
 
 func run(args []string) error {
@@ -75,6 +93,8 @@ func run(args []string) error {
 		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR2.json)")
 		compare  = fs.String("compare", "", "prior JSON artefact to compare against (e.g. BENCH_PR1.json); exits non-zero on >10% wall-clock regression")
 		ckptDir  = fs.String("checkpoint", "", "experiment mode: directory of resumable per-grid checkpoints (interrupted tables resume instead of restarting; not combinable with -json/-compare, whose timings assume fresh runs)")
+		retries  = fs.Int("retries", 0, "re-run a failed grid cell up to this many extra times (deterministic backoff; retried results are bit-identical)")
+		failFast = fs.Bool("fail-fast", true, "sweep mode: stop on the first failed cell; =false quarantines failed cells, finishes the grid, and exits with code 3")
 
 		doSweep    = fs.Bool("sweep", false, "run a streaming grid instead of the named experiments")
 		swTopology = fs.String("sweep-topology", "", "sweep: topology family ("+strings.Join(mpic.TopologyNames(), "|")+"; default: the workload's)")
@@ -90,6 +110,23 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", *retries)
+	}
+	if !*doSweep {
+		// Quarantine is a streaming-grid mode: a named experiment's table
+		// is meaningless with holes in it, so experiment mode always fails
+		// fast and the flag is rejected rather than ignored.
+		failFastSet := false
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "fail-fast" {
+				failFastSet = true
+			}
+		})
+		if failFastSet {
+			return fmt.Errorf("-fail-fast applies to -sweep mode only (experiment tables always fail fast)")
+		}
 	}
 	if *doSweep {
 		ratesSet := false
@@ -113,6 +150,7 @@ func run(args []string) error {
 			noise: *swNoise, n: *swN, schemes: *swSchemes, rates: *swRates,
 			iterFactor: *swIters, trials: *trials, seed: *seed, ratesSet: ratesSet,
 			parallel: *swParallel, checkpoint: *swCkpt,
+			retries: *retries, failFast: *failFast,
 		})
 	}
 	if *ckptDir != "" && (*jsonPath != "" || *compare != "") {
@@ -123,7 +161,7 @@ func run(args []string) error {
 		// loudly, exactly like sweep mode rejects its artefact flags.
 		return fmt.Errorf("-checkpoint resumes tables with non-comparable wall-clock timings; it does not combine with -json/-compare")
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Checkpoint: *ckptDir}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Checkpoint: *ckptDir, Retries: *retries}
 	var tables []*experiments.Table
 	if *name == "all" {
 		all, err := experiments.RunAll(cfg)
@@ -238,6 +276,10 @@ type sweepFlags struct {
 	parallel int
 	// checkpoint, when set, is the incremental JSON checkpoint file.
 	checkpoint string
+	// retries is the extra attempts a failed cell gets; failFast=false
+	// quarantines cells that still fail instead of aborting the grid.
+	retries  int
+	failFast bool
 }
 
 // spec fingerprints the grid-defining flags; a checkpoint written under
@@ -305,9 +347,16 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	if f.checkpoint != "" {
 		// The library owns the resume flow; the flag fingerprint is the
 		// session's spec, so a checkpoint written by different grid flags
-		// is rejected instead of silently merged.
+		// is rejected instead of silently merged. Retry/quarantine flags
+		// stay out of the spec: they change fault handling, never results.
 		grid.Spec = f.spec()
 		grid.Store = mpic.NewFileGridStore(f.checkpoint)
+	}
+	if f.retries > 0 {
+		grid.Retry = mpic.RetryPolicy{MaxAttempts: f.retries + 1, JitterSeed: f.seed}
+	}
+	if !f.failFast {
+		grid.OnCellError = mpic.QuarantineCells
 	}
 
 	// Stream the table: title and header up front, one row per cell the
@@ -322,24 +371,34 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	fmt.Fprintln(w, "|"+strings.Repeat("---|", len(header)))
 	runner := mpic.NewRunner()
 	defer runner.Close()
-	restored := 0
+	restored, failed := 0, 0
 	err = runner.RunGrid(context.Background(), grid, func(res mpic.GridCellResult) {
 		// The engine serializes sink calls (and persists the cell before
 		// streaming it), so printing here is race-free even under
 		// -parallel.
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(w, "| %d | %s | %g | ERROR | — | — | after %d attempt(s): %v |\n",
+				res.Key.N, res.Key.Scheme, res.Key.Rate, res.Attempts, res.Err)
+			return
+		}
 		if res.Restored {
 			restored++
 		}
 		fmt.Fprintln(w, sweepRow(res.Cell))
 	})
-	if err != nil {
+	var gridFail *mpic.GridFailure
+	if err != nil && !errors.As(err, &gridFail) {
 		return err
 	}
 	fmt.Fprintln(w)
 	if restored > 0 {
 		fmt.Fprintf(w, "*restored %d of %d cells from %s*\n", restored, len(grid.Cells), f.checkpoint)
 	}
-	return nil
+	if failed > 0 {
+		fmt.Fprintf(w, "*quarantined %d of %d cells; they are not checkpointed and will re-run on resume*\n", failed, len(grid.Cells))
+	}
+	return err
 }
 
 // sweepRow formats one completed cell as a markdown table row.

@@ -2,12 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"mpic"
 	"mpic/internal/experiments"
 )
 
@@ -155,6 +157,71 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// TestRunRetryFlags pins the fault-tolerance knobs: -retries is valid in
+// both modes (a healthy run is unaffected), -fail-fast is sweep-only,
+// and a negative budget is rejected.
+func TestRunRetryFlags(t *testing.T) {
+	if err := run([]string{"-sweep", "-sweep-n", "4", "-sweep-rates", "0", "-trials", "1",
+		"-sweep-iterfactor", "10", "-retries", "2", "-fail-fast=false"}); err != nil {
+		t.Fatalf("healthy quarantine-mode sweep: %v", err)
+	}
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1", "-retries", "1"}); err != nil {
+		t.Fatalf("experiment mode with -retries: %v", err)
+	}
+	if err := run([]string{"-experiment", "rewind-wave", "-fail-fast=false"}); err == nil ||
+		!strings.Contains(err.Error(), "-sweep mode only") {
+		t.Errorf("-fail-fast outside sweep mode: got %v", err)
+	}
+	if err := run([]string{"-retries", "-2"}); err == nil || !strings.Contains(err.Error(), "non-negative") {
+		t.Errorf("negative -retries: got %v", err)
+	}
+}
+
+// failWireNoise is a rate-parameterized noise family whose wiring
+// always errors — it drives the sweep sink's failure path without
+// touching the engine.
+type failWireNoise struct{ rate float64 }
+
+func (failWireNoise) NoiseName() string                   { return "bench-test-failwire" }
+func (f failWireNoise) WithRate(r float64) mpic.NoiseSpec { return failWireNoise{rate: r} }
+func (failWireNoise) Wire(mpic.NoiseEnv) (mpic.WiredNoise, error) {
+	return mpic.WiredNoise{}, errors.New("injected wiring failure")
+}
+
+// TestRunSweepQuarantineOutput drives the failure path through the
+// sweep sink: every cell's wiring errors, quarantine mode prints ERROR
+// markdown rows plus the quarantine note, and runSweep returns the
+// *mpic.GridFailure that main maps to exit code 3.
+func TestRunSweepQuarantineOutput(t *testing.T) {
+	if err := mpic.RegisterNoise("bench-test-failwire", func(rate float64) mpic.NoiseSpec {
+		return failWireNoise{rate: rate}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := sweepTestFlags("")
+	f.noise = "bench-test-failwire"
+	f.retries = 1
+	f.failFast = false
+	var out strings.Builder
+	err := runSweep(&out, f)
+	var gf *mpic.GridFailure
+	if !errors.As(err, &gf) {
+		t.Fatalf("quarantined sweep returned %v, want *mpic.GridFailure", err)
+	}
+	if len(gf.Report.Failed) != 2 {
+		t.Fatalf("report lists %d failed cells, want 2", len(gf.Report.Failed))
+	}
+	for _, want := range []string{
+		"ERROR | — | — | after 2 attempt(s)",
+		"injected wiring failure",
+		"quarantined 2 of 2 cells",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // sweepTestFlags mirrors the flag defaults of run() for direct runSweep
 // calls (which let tests capture the streamed output).
 func sweepTestFlags(checkpoint string) sweepFlags {
@@ -162,7 +229,7 @@ func sweepTestFlags(checkpoint string) sweepFlags {
 		workload: "random", noise: "random",
 		n: "4", schemes: "A", rates: "0,0.001",
 		iterFactor: 10, trials: 1, seed: 1, ratesSet: true,
-		parallel: 1, checkpoint: checkpoint,
+		parallel: 1, checkpoint: checkpoint, failFast: true,
 	}
 }
 
@@ -203,22 +270,21 @@ func TestSweepCheckpointResume(t *testing.T) {
 	if err := json.Unmarshal(data, &ckpt); err != nil {
 		t.Fatal(err)
 	}
-	if ckpt.Version != 1 || ckpt.Spec == "" || len(ckpt.Cells) != 2 {
-		t.Fatalf("full checkpoint has version %d, spec %q and %d cells, want v1 with 2 cells",
+	if ckpt.Version != 2 || ckpt.Spec == "" || len(ckpt.Cells) != 2 {
+		t.Fatalf("full checkpoint has version %d, spec %q and %d cells, want v2 with 2 cells",
 			ckpt.Version, ckpt.Spec, len(ckpt.Cells))
 	}
 
-	// Simulate an interruption: drop the second cell and resume.
+	// Simulate an interruption: drop the second cell and resume. The
+	// truncation goes through the store API so the partial file carries a
+	// valid checksum — a hand-edited file would (correctly) be treated as
+	// corrupt.
 	partial := filepath.Join(dir, "partial.json")
-	truncated, err := json.Marshal(struct {
-		Version int
-		Spec    string
-		Cells   []json.RawMessage
-	}{ckpt.Version, ckpt.Spec, ckpt.Cells[:1]})
+	cells, err := mpic.NewFileGridStore(full).Load(ckpt.Spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(partial, truncated, 0o644); err != nil {
+	if err := mpic.NewFileGridStore(partial).Save(ckpt.Spec, cells[:1]); err != nil {
 		t.Fatal(err)
 	}
 	var resumed strings.Builder

@@ -17,15 +17,19 @@
 // trial grid a durable session: completed trials persist to the named
 // JSON file (mpic.FileGridStore) and a re-run resumes the missing ones;
 // -observe streams the grid's fine-grained progress (trial starts,
-// per-iteration ticks) to stderr through mpic.NewProgressLog.
+// per-iteration ticks) to stderr through mpic.NewProgressLog; -retries
+// re-runs a failed trial up to that many extra times and then
+// quarantines it so the rest of the batch still completes (partial
+// success exits with code 3, see main).
 //
 //	mpicsim -topology line -n 6 -noise random -rate 0.002 -trials 20 -workers 4 \
-//	    -checkpoint trials.ckpt.json -observe
+//	    -checkpoint trials.ckpt.json -observe -retries 2
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,11 +40,22 @@ import (
 	"mpic/internal/trace"
 )
 
+// Exit codes: 0 — every trial succeeded; 3 — the grid finished but some
+// trials were quarantined after exhausting their -retries budget
+// (partial success: the printed aggregate covers the healthy trials);
+// 1 — hard failure (bad flags, a run error in fail-fast mode, an
+// unusable checkpoint).
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "mpicsim:", err)
-		os.Exit(1)
+	err := run(os.Stdout, os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "mpicsim:", err)
+	var gf *mpic.GridFailure
+	if errors.As(err, &gf) {
+		os.Exit(3)
+	}
+	os.Exit(1)
 }
 
 func run(w io.Writer, args []string) error {
@@ -64,6 +79,7 @@ func run(w io.Writer, args []string) error {
 		trials   = fs.Int("trials", 1, "independent seeds to run (above 1: streamed through the grid engine)")
 		workers  = fs.Int("workers", 0, "concurrent trials when -trials > 1 (0 = GOMAXPROCS)")
 		ckpt     = fs.String("checkpoint", "", "with -trials > 1: resumable JSON checkpoint file for the trial grid")
+		retries  = fs.Int("retries", 0, "with -trials > 1: re-run a failed trial up to this many extra times, then quarantine it and finish the batch (exit code 3 on partial success)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,13 +112,19 @@ func run(w io.Writer, args []string) error {
 		if *doTrace {
 			return fmt.Errorf("-trace reads one run's trajectory; it does not combine with -trials %d", *trials)
 		}
+		if *retries < 0 {
+			return fmt.Errorf("-retries must be non-negative, got %d", *retries)
+		}
 		return runTrials(w, runner, sc, trialOpts{
-			trials: *trials, workers: *workers,
+			trials: *trials, workers: *workers, retries: *retries,
 			checkpoint: *ckpt, observe: *observe, asJSON: *asJSON,
 		})
 	}
 	if *ckpt != "" {
 		return fmt.Errorf("-checkpoint resumes a trial grid; it needs -trials > 1")
+	}
+	if *retries != 0 {
+		return fmt.Errorf("-retries applies to a trial grid; it needs -trials > 1")
 	}
 	if *observe {
 		sc.Observers = append(sc.Observers, mpic.NewIterationLog(os.Stderr))
@@ -124,6 +146,7 @@ func run(w io.Writer, args []string) error {
 // trialOpts carries the multi-seed grid mode's flags.
 type trialOpts struct {
 	trials, workers int
+	retries         int
 	checkpoint      string
 	observe, asJSON bool
 }
@@ -142,6 +165,14 @@ func runTrials(w io.Writer, runner *mpic.Runner, sc mpic.Scenario, opts trialOpt
 		cells[i] = mpic.GridCell{Scenario: s, Trials: 1}
 	}
 	grid := mpic.Grid{Cells: cells, Workers: opts.workers}
+	if opts.retries > 0 {
+		// With a retry budget the batch runs in quarantine mode: a trial
+		// that keeps failing is reported and skipped instead of killing
+		// the batch, and main maps the resulting *mpic.GridFailure to
+		// exit code 3.
+		grid.Retry = mpic.RetryPolicy{MaxAttempts: opts.retries + 1, JitterSeed: sc.Seed}
+		grid.OnCellError = mpic.QuarantineCells
+	}
 	if opts.checkpoint != "" {
 		// The default spec (Grid.Fingerprint) covers the flags that shape
 		// the cells — topology, workload, noise, seed, budget — so a
@@ -152,8 +183,18 @@ func runTrials(w io.Writer, runner *mpic.Runner, sc mpic.Scenario, opts trialOpt
 		grid.Progress = mpic.NewProgressLog(os.Stderr)
 	}
 	agg := mpic.SweepCell{}
-	restored := 0
+	restored, failed := 0, 0
 	err := runner.RunGrid(context.Background(), grid, func(res mpic.GridCellResult) {
+		if res.Err != nil {
+			// A quarantined trial carries no aggregate — report it and
+			// keep it out of the totals.
+			failed++
+			if !opts.asJSON {
+				fmt.Fprintf(w, "trial %3d (seed %d): ERROR after %d attempt(s): %v\n",
+					res.Index, sc.Seed+int64(res.Index), res.Attempts, res.Err)
+			}
+			return
+		}
 		c := res.Cell
 		agg.Merge(c)
 		if res.Restored {
@@ -168,13 +209,14 @@ func runTrials(w io.Writer, runner *mpic.Runner, sc mpic.Scenario, opts trialOpt
 				res.Index, sc.Seed+int64(res.Index), status, c.MeanBlowup(), c.MeanIterations(), c.Corruptions)
 		}
 	})
-	if err != nil {
+	var gridFail *mpic.GridFailure
+	if err != nil && !errors.As(err, &gridFail) {
 		return err
 	}
 	if opts.asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(map[string]interface{}{
+		if encErr := enc.Encode(map[string]interface{}{
 			"trials":         agg.Trials,
 			"successes":      agg.Successes,
 			"successRate":    agg.SuccessRate(),
@@ -183,14 +225,21 @@ func runTrials(w io.Writer, runner *mpic.Runner, sc mpic.Scenario, opts trialOpt
 			"corruptions":    agg.Corruptions,
 			"hashCollisions": agg.Collisions,
 			"restoredTrials": restored,
-		})
+			"failedTrials":   failed,
+		}); encErr != nil {
+			return encErr
+		}
+		return err
 	}
 	fmt.Fprintf(w, "aggregate: %d/%d succeeded, mean blowup %.2f, mean iterations %.0f, %d corruptions\n",
 		agg.Successes, agg.Trials, agg.MeanBlowup(), agg.MeanIterations(), agg.Corruptions)
 	if restored > 0 {
 		fmt.Fprintf(w, "restored %d of %d trials from %s\n", restored, opts.trials, opts.checkpoint)
 	}
-	return nil
+	if failed > 0 {
+		fmt.Fprintf(w, "quarantined %d of %d trials (excluded from the aggregate)\n", failed, opts.trials)
+	}
+	return err
 }
 
 // printTrace dumps the oracle's per-iteration snapshots: the agreed

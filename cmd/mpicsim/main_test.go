@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -112,18 +113,21 @@ func TestRunTrialsCheckpointResume(t *testing.T) {
 	if err := json.Unmarshal(data, &state); err != nil {
 		t.Fatal(err)
 	}
-	if state.Version != 1 || state.Spec == "" || len(state.Cells) != 3 {
-		t.Fatalf("checkpoint state = version %d, spec %q, %d cells; want v1 with 3 cells",
+	if state.Version != 2 || state.Spec == "" || len(state.Cells) != 3 {
+		t.Fatalf("checkpoint state = version %d, spec %q, %d cells; want v2 with 3 cells",
 			state.Version, state.Spec, len(state.Cells))
 	}
 
-	// Simulate an interruption: drop the last trial and resume.
-	state.Cells = state.Cells[:2]
-	truncated, err := json.Marshal(state)
+	// Simulate an interruption: drop the last trial and resume. The
+	// truncation goes through the store API so the rewritten file carries
+	// a valid checksum — a hand-edited file would (correctly) be treated
+	// as corrupt.
+	store := mpic.NewFileGridStore(ck)
+	cells, err := store.Load(state.Spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(ck, truncated, 0o644); err != nil {
+	if err := store.Save(state.Spec, cells[:2]); err != nil {
 		t.Fatal(err)
 	}
 	var resumed strings.Builder
@@ -156,5 +160,75 @@ func TestRunTrialsCheckpointResume(t *testing.T) {
 	// -checkpoint without a trial grid has nothing to resume.
 	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-checkpoint", ck}); err == nil {
 		t.Error("-checkpoint without -trials accepted")
+	}
+}
+
+// TestRunTrialsQuarantineOutput drives the failure path through the
+// CLI sink: a registered noise family whose wiring always errors makes
+// every trial fail, the sink prints ERROR lines and the quarantine
+// note, and run returns the *mpic.GridFailure that main maps to exit
+// code 3.
+func TestRunTrialsQuarantineOutput(t *testing.T) {
+	if err := mpic.RegisterNoise("sim-test-failwire", func(rate float64) mpic.NoiseSpec {
+		return mpic.NoiseFunc("sim-test-failwire", func(mpic.NoiseEnv) (mpic.WiredNoise, error) {
+			return mpic.WiredNoise{}, errors.New("injected wiring failure")
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(&out, []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-noise", "sim-test-failwire", "-rate", "0.001",
+		"-trials", "2", "-retries", "1"})
+	var gf *mpic.GridFailure
+	if !errors.As(err, &gf) {
+		t.Fatalf("quarantined grid returned %v, want *mpic.GridFailure", err)
+	}
+	if len(gf.Report.Failed) != 2 {
+		t.Fatalf("report lists %d failed trials, want 2", len(gf.Report.Failed))
+	}
+	for _, want := range []string{
+		"ERROR after 2 attempt(s)",
+		"injected wiring failure",
+		"quarantined 2 of 2 trials",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The JSON aggregate must carry the failure count and still be valid
+	// JSON with every trial quarantined.
+	var jsonOut strings.Builder
+	err = run(&jsonOut, []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-noise", "sim-test-failwire", "-rate", "0.001",
+		"-trials", "2", "-retries", "1", "-json"})
+	if !errors.As(err, &gf) {
+		t.Fatalf("quarantined JSON grid returned %v, want *mpic.GridFailure", err)
+	}
+	var agg map[string]interface{}
+	if err := json.Unmarshal([]byte(jsonOut.String()), &agg); err != nil {
+		t.Fatalf("all-quarantined aggregate is not valid JSON: %v\n%s", err, jsonOut.String())
+	}
+	if agg["failedTrials"] != 2.0 {
+		t.Fatalf("failedTrials = %v, want 2", agg["failedTrials"])
+	}
+}
+
+// TestRunTrialsRetries pins the -retries knob: valid on a trial grid
+// (where a healthy run is unaffected), rejected without one, and
+// rejected when negative.
+func TestRunTrialsRetries(t *testing.T) {
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-iterfactor", "10",
+		"-trials", "2", "-retries", "2"}); err != nil {
+		t.Fatalf("healthy grid with -retries: %v", err)
+	}
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4", "-retries", "2"}); err == nil ||
+		!strings.Contains(err.Error(), "-trials") {
+		t.Errorf("-retries without -trials: got %v", err)
+	}
+	if err := run(io.Discard, []string{"-topology", "line", "-n", "4",
+		"-trials", "2", "-retries", "-1"}); err == nil || !strings.Contains(err.Error(), "non-negative") {
+		t.Errorf("negative -retries: got %v", err)
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // GridKey identifies one cell of a grid by its (n, scheme, rate)
@@ -86,16 +88,170 @@ type Grid struct {
 	Spec string
 	// Progress, when non-nil, receives the grid's fine-grained progress
 	// stream: per-trial starts, per-iteration ticks, per-trial results,
-	// cell completions and restores. Progress calls are serialized with
-	// each other (one at a time, happens-before ordered) across all
-	// workers, so the callback may write to its own shared state without
-	// locking — but they are NOT serialized with GridSink calls: at
-	// Workers > 1 a progress event can fire while another cell's sink
-	// delivery is in flight, so state shared between the two callbacks
-	// needs its own lock. A slow callback stalls the runs that feed it.
-	// See NewProgressLog for a ready-made sink.
+	// cell completions, restores, retries, and failures. Progress calls
+	// are serialized with each other (one at a time, happens-before
+	// ordered) across all workers, so the callback may write to its own
+	// shared state without locking — but they are NOT serialized with
+	// GridSink calls: at Workers > 1 a progress event can fire while
+	// another cell's sink delivery is in flight, so state shared between
+	// the two callbacks needs its own lock. A slow callback stalls the
+	// runs that feed it. See NewProgressLog for a ready-made sink.
 	Progress GridProgressFunc
+	// Retry is the per-cell retry policy. The zero value runs each cell
+	// once; with MaxAttempts > 1 a failed cell (run error or recovered
+	// panic) is re-run up to that many times under capped exponential
+	// backoff with deterministic jitter. Retried attempts re-derive the
+	// exact same trial seeds, so a cell that fails transiently and then
+	// succeeds is bit-identical to one that succeeded first try.
+	// Cancellation is never retried.
+	Retry RetryPolicy
+	// OnCellError selects what a cell failure (after retries) does to the
+	// rest of the grid: FailFast (the default) cancels the grid and
+	// returns the cell's error; QuarantineCells keeps going, streams the
+	// failed cell with GridCellResult.Err set, and reports every
+	// quarantined cell in the *GridFailure the run returns.
+	OnCellError CellErrorMode
 }
+
+// CellErrorMode selects Grid.OnCellError behavior.
+type CellErrorMode int
+
+const (
+	// FailFast cancels the grid on the first cell failure — the default,
+	// and the right mode when any failure invalidates the whole batch.
+	FailFast CellErrorMode = iota
+	// QuarantineCells finishes the grid despite cell failures: failed
+	// cells stream through the sink with Err set (and are NOT persisted
+	// to the session store, so a resumed run re-attempts them), healthy
+	// cells complete normally, and RunGrid returns a *GridFailure
+	// reporting the quarantined cells.
+	QuarantineCells
+)
+
+// RetryPolicy configures per-cell retries for RunGrid. All scheduling is
+// deterministic: the backoff for (cell, attempt) is a pure function of
+// the policy, so a retried grid is reproducible end to end.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of times a cell may run; 0 or 1
+	// means no retries. A negative count is a spec error RunGrid rejects
+	// before anything runs.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt, doubling per
+	// subsequent attempt (0 means 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 means 1s).
+	MaxDelay time.Duration
+	// JitterSeed feeds the deterministic jitter: the actual backoff is
+	// uniform in [delay/2, delay), picked by (JitterSeed, cell, attempt).
+	// Two runs with the same seed sleep identically.
+	JitterSeed int64
+	// Sleep replaces the backoff sleep (tests use a recording stub); nil
+	// means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// delay returns the deterministic jittered backoff after the given
+// failed attempt (1-based) of the given cell: capped doubling of
+// BaseDelay, then uniform in [d/2, d) so concurrent retries decorrelate
+// without losing reproducibility.
+func (p RetryPolicy) delay(cell, attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d/2 + time.Duration(jitterFrac(p.JitterSeed, cell, attempt)*float64(d/2))
+}
+
+// sleep pays one backoff through the policy's sleeper.
+func (p RetryPolicy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// jitterFrac maps (seed, cell, attempt) to a uniform [0,1) fraction via
+// a splitmix64 finalizer — deterministic, and decorrelated across cells
+// and attempts.
+func jitterFrac(seed int64, cell, attempt int) float64 {
+	x := uint64(seed) ^ uint64(cell)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(uint64(1)<<53)
+}
+
+// CellPanicError is a panic recovered inside a grid cell — from a
+// protocol, an observer, or a Tune closure — converted into an ordinary
+// cell error so one poisoned cell cannot take down the whole process.
+// It participates in retries and quarantine like any other cell error.
+type CellPanicError struct {
+	// Cell is the cell's index in Grid.Cells; Key its identity.
+	Cell int
+	Key  GridKey
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("mpic: grid cell %d (n=%d scheme=%v rate=%g) panicked: %v",
+		e.Cell, e.Key.N, e.Key.Scheme, e.Key.Rate, e.Value)
+}
+
+// GridReport summarizes a finished grid run for quarantine-mode
+// consumers: how much completed, and exactly which cells failed.
+type GridReport struct {
+	// Cells is the grid size.
+	Cells int
+	// Completed counts cells that finished successfully this run
+	// (excluding restored ones).
+	Completed int
+	// Restored counts cells replayed from the session store.
+	Restored int
+	// Failed holds the quarantined cells in completion order, each with
+	// Err and Attempts set. Failed cells are never persisted to the
+	// session store, so a resumed run re-attempts them.
+	Failed []GridCellResult
+}
+
+// GridFailure is the error RunGrid returns when a quarantine-mode grid
+// finishes with failed cells: the grid ran to completion, the healthy
+// cells are valid (and persisted, for durable sessions), and Report says
+// what failed. Callers distinguish this partial success from a hard
+// failure with errors.As.
+type GridFailure struct {
+	Report GridReport
+}
+
+// Error implements error.
+func (e *GridFailure) Error() string {
+	n := len(e.Report.Failed)
+	first := e.Report.Failed[0]
+	return fmt.Sprintf("mpic: grid finished with %d of %d cells failed (first: cell %d after %d attempt(s): %v)",
+		n, e.Report.Cells, first.Index, first.Attempts, first.Err)
+}
+
+// Unwrap exposes the first failed cell's error to errors.Is/As.
+func (e *GridFailure) Unwrap() error { return e.Report.Failed[0].Err }
 
 // GridEvent identifies the kind of a GridProgress event.
 type GridEvent int
@@ -115,6 +271,14 @@ const (
 	// GridCellDone: every trial of the cell finished (identity fields
 	// only — the aggregate streams through the GridSink).
 	GridCellDone
+	// GridCellRetrying: an attempt of the cell failed and the engine is
+	// about to back off and re-run it; Err is the attempt's error and
+	// Attempt its 1-based number.
+	GridCellRetrying
+	// GridCellFailed: the cell exhausted its attempts under
+	// Grid.OnCellError == QuarantineCells; Err is the final error and
+	// Attempt the total attempts made.
+	GridCellFailed
 )
 
 // String names the event for logs and tests.
@@ -130,6 +294,10 @@ func (e GridEvent) String() string {
 		return "trial-done"
 	case GridCellDone:
 		return "cell-done"
+	case GridCellRetrying:
+		return "cell-retrying"
+	case GridCellFailed:
+		return "cell-failed"
 	default:
 		return fmt.Sprintf("GridEvent(%d)", int(e))
 	}
@@ -161,6 +329,13 @@ type GridProgress struct {
 	// Result is the trial's outcome for GridTrialDone events (nil
 	// otherwise).
 	Result *Result
+	// Err is the cell's error for GridCellRetrying and GridCellFailed
+	// events (nil otherwise).
+	Err error
+	// Attempt is the 1-based attempt number for GridCellRetrying (the
+	// attempt that just failed) and GridCellFailed (total attempts made);
+	// zero otherwise.
+	Attempt int
 }
 
 // GridProgressFunc receives serialized progress events; see
@@ -183,6 +358,14 @@ type GridCellResult struct {
 	// Restored marks a cell replayed from the session's Store rather
 	// than executed this run.
 	Restored bool
+	// Err is the cell's final error for quarantined cells (Grid.
+	// OnCellError == QuarantineCells); nil for healthy cells. A cell with
+	// Err set carries no aggregate and is not persisted.
+	Err error
+	// Attempts is how many times the cell ran (1 for first-try successes
+	// and restored cells report 0); with retries enabled it counts the
+	// attempts actually spent.
+	Attempts int
 }
 
 // GridSink receives completed cells. The engine serializes calls (one
@@ -198,6 +381,15 @@ type GridSink func(GridCellResult)
 func (g Grid) validate() error {
 	if g.Workers < 0 {
 		return fmt.Errorf("mpic: Grid.Workers is %d; negative worker counts are invalid (0 means GOMAXPROCS, 1 forces sequential)", g.Workers)
+	}
+	if g.Retry.MaxAttempts < 0 {
+		return fmt.Errorf("mpic: Grid.Retry.MaxAttempts is %d; negative attempt counts are invalid (0 means run once)", g.Retry.MaxAttempts)
+	}
+	if g.Retry.BaseDelay < 0 || g.Retry.MaxDelay < 0 {
+		return fmt.Errorf("mpic: Grid.Retry delays must be non-negative (BaseDelay %v, MaxDelay %v)", g.Retry.BaseDelay, g.Retry.MaxDelay)
+	}
+	if g.OnCellError != FailFast && g.OnCellError != QuarantineCells {
+		return fmt.Errorf("mpic: Grid.OnCellError is %d; valid modes are FailFast (0) and QuarantineCells (1)", g.OnCellError)
 	}
 	for i, c := range g.Cells {
 		if c.Trials < 0 {
@@ -215,8 +407,12 @@ type progressEmitter struct {
 
 func (p *progressEmitter) emit(ev GridProgress) {
 	p.mu.Lock()
+	// Unlock by defer: an injected or genuine panic unwinding out of a
+	// run (through the observer that feeds this emitter) must not leave
+	// the emitter locked, or the recovery path's own events would
+	// deadlock.
+	defer p.mu.Unlock()
 	p.fn(ev)
-	p.mu.Unlock()
 }
 
 // trialProgress forwards one trial's Observer callbacks into the grid's
@@ -329,6 +525,12 @@ func (g Grid) openSession() (*gridSession, []int, error) {
 // whichever comes first; on error, cells already streamed remain valid
 // and the rest are abandoned.
 //
+// Cell failures are contained: a panic inside a cell is recovered into a
+// *CellPanicError, Grid.Retry re-runs failed cells (bit-identically —
+// attempts re-derive the same trial seeds) under deterministic backoff,
+// and Grid.OnCellError == QuarantineCells finishes the grid around
+// unrecoverable cells, returning their inventory as a *GridFailure.
+//
 // With Grid.Store set the grid is a durable session: previously
 // completed cells are restored and streamed first (in definition order,
 // marked Restored), only the rest execute, and each fresh completion is
@@ -411,6 +613,7 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 		mu        sync.Mutex   // serializes sink calls, session saves, firstErr
 		firstErr  error
 		completed int
+		failed    []GridCellResult
 		wg        sync.WaitGroup
 	)
 	next.Store(-1)
@@ -424,8 +627,29 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 					return
 				}
 				i := pending[slot]
-				res, err := r.runGridCell(ctx, g.Cells[i], i, len(g.Cells), g.KeepResults, prog)
+				res, err := r.runGridCellRetrying(ctx, g, i, prog)
 				mu.Lock()
+				if err != nil && g.OnCellError == QuarantineCells && ctx.Err() == nil {
+					// Quarantine: record and stream the failure, keep the
+					// grid going. The cell is NOT persisted — a resumed
+					// session re-attempts it.
+					res.Err = err
+					res.Results = nil
+					res.Cell = SweepCell{N: res.Key.N, Scheme: res.Key.Scheme, Rate: res.Key.Rate}
+					failed = append(failed, res)
+					if prog != nil {
+						prog.emit(GridProgress{
+							Event: GridCellFailed,
+							Cell:  res.Index, Cells: len(g.Cells),
+							Key: res.Key, Err: err, Attempt: res.Attempts,
+						})
+					}
+					if sink != nil {
+						sink(res)
+					}
+					mu.Unlock()
+					continue
+				}
 				if err == nil && sess != nil {
 					sess.cells = append(sess.cells, StoredCell{Index: res.Index, Key: res.Key, Cell: res.Cell})
 					err = sess.save()
@@ -469,12 +693,74 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	if completed == len(pending) {
+	if completed+len(failed) == len(pending) {
 		// Every cell ran and streamed; a cancellation that landed after
 		// the last one must not make the caller discard a complete grid.
+		if len(failed) > 0 {
+			restored := 0
+			if sess != nil {
+				restored = len(sess.restored)
+			}
+			return &GridFailure{Report: GridReport{
+				Cells:     len(g.Cells),
+				Completed: completed,
+				Restored:  restored,
+				Failed:    failed,
+			}}
+		}
 		return nil
 	}
 	return ctx.Err()
+}
+
+// runGridCellRetrying runs one cell under the grid's retry policy: each
+// attempt re-derives the same trial seeds (so a retried success is
+// bit-identical to a first-try success), recovered panics count as
+// ordinary attempt failures, and cancellation is returned immediately
+// rather than retried.
+func (r *Runner) runGridCellRetrying(ctx context.Context, g Grid, i int, prog *progressEmitter) (GridCellResult, error) {
+	attempts := g.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var res GridCellResult
+	var err error
+	for attempt := 1; ; attempt++ {
+		res, err = r.runGridCellOnce(ctx, g.Cells[i], i, len(g.Cells), g.KeepResults, prog)
+		res.Attempts = attempt
+		if err == nil || ctx.Err() != nil || attempt >= attempts {
+			return res, err
+		}
+		if prog != nil {
+			prog.emit(GridProgress{
+				Event: GridCellRetrying,
+				Cell:  i, Cells: len(g.Cells),
+				Key: res.Key, Err: err, Attempt: attempt,
+			})
+		}
+		g.Retry.sleep(g.Retry.delay(i, attempt))
+	}
+}
+
+// runGridCellOnce is one attempt of one cell, with panic containment: a
+// panic anywhere inside the cell's trials — protocol code, noise
+// closures, observers — comes back as a *CellPanicError instead of
+// crashing the pool, so the retry and quarantine machinery can treat it
+// like any other cell failure.
+func (r *Runner) runGridCellOnce(ctx context.Context, cell GridCell, index, total int, keep bool, prog *progressEmitter) (res GridCellResult, err error) {
+	key := cell.key()
+	defer func() {
+		if p := recover(); p != nil {
+			// A panic skipped runGridCell's return: rebuild the cell's
+			// identity so the failure is reported against the right cell.
+			res = GridCellResult{
+				Index: index, Key: key,
+				Cell: SweepCell{N: key.N, Scheme: key.Scheme, Rate: key.Rate},
+			}
+			err = &CellPanicError{Cell: index, Key: key, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return r.runGridCell(ctx, cell, index, total, keep, prog)
 }
 
 // CollectGrid is RunGrid buffered into a slice: it runs the grid and

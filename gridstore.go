@@ -3,9 +3,11 @@ package mpic
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // StoredCell is one persisted cell of a durable grid session: the cell's
@@ -54,8 +56,9 @@ type GridStore interface {
 // bumped when the JSON shape changes incompatibly; FileGridStore rejects
 // checkpoints from other versions instead of guessing at their layout
 // (version 0 — the pre-session format once private to mpicbench — is
-// rejected with the same message).
-const fileGridStoreVersion = 1
+// rejected with the same message; version 1 predates the payload
+// checksum).
+const fileGridStoreVersion = 2
 
 // fileGridState is the on-disk JSON shape of FileGridStore.
 type fileGridState struct {
@@ -63,18 +66,66 @@ type fileGridState struct {
 	Version int
 	// Spec fingerprints the grid the cells belong to.
 	Spec string
+	// Checksum authenticates the payload: hex SHA-256 over the version,
+	// the spec, and the compact JSON of Cells (see checkpointChecksum).
+	// A file whose recomputed checksum disagrees — a torn write, a
+	// bit-flip, a hand edit — is treated as corrupt, not as a different
+	// grid.
+	Checksum string
 	// Cells are the completed cells, in completion order.
 	Cells []StoredCell
 }
 
+// checkpointChecksum computes the integrity checksum of a checkpoint
+// payload. It covers the version and spec too, so corruption anywhere in
+// the file surfaces as a checksum mismatch (the corrupt-and-recover
+// path) rather than being misread as a semantic rejection.
+func checkpointChecksum(version int, spec string, cellsJSON []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mpic-checkpoint-v%d %s\n", version, spec)
+	h.Write(cellsJSON)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// CorruptCheckpointError reports a checkpoint file that could not be
+// read back: unreadable bytes, invalid JSON (e.g. a write torn mid-
+// array), or a payload whose checksum does not match. FileGridStore
+// recovers from its .bak backup when one is good; this error surfaces
+// only when no good state is left, and Reason carries the underlying
+// cause.
+type CorruptCheckpointError struct {
+	// Path is the corrupt file.
+	Path string
+	// Reason is the underlying parse/checksum/read failure.
+	Reason error
+}
+
+// Error implements error.
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("mpic: checkpoint %s is corrupt (%v); no usable backup — delete the file to restart the grid", e.Path, e.Reason)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CorruptCheckpointError) Unwrap() error { return e.Reason }
+
 // FileGridStore is the GridStore used by both CLIs and the experiment
-// harness: one JSON file per grid session, atomically rewritten (write
-// to a temporary file, then rename) after every completed cell, so a
-// crash mid-write never corrupts the resume state the file exists to
-// provide. A missing file is an empty session; parent directories are
-// created on first Save.
+// harness: one JSON file per grid session, atomically rewritten after
+// every completed cell. Save is crash-proof: the temporary file is
+// fsynced before the rename, the parent directory is fsynced after it
+// (so neither the data nor the rename can be lost to a power cut behind
+// a "successful" Save), the payload carries a SHA-256 checksum, and the
+// previous state is kept as a verified-good .bak — Load falls back to it
+// when the primary file is torn, corrupt, or missing mid-rotation, so a
+// damaged session resumes from its last good state instead of aborting
+// or silently restarting. A missing file (with no backup) is an empty
+// session; parent directories are created on first Save.
 type FileGridStore struct {
 	path string
+	// OnRecovery, when non-nil, is called when Load falls back to the
+	// .bak backup, with the corruption that made the primary unusable —
+	// the hook CLIs use to tell the user a damaged session was recovered
+	// rather than resumed verbatim.
+	OnRecovery func(reason error)
 }
 
 // NewFileGridStore returns a store persisting to the given file path.
@@ -85,50 +136,239 @@ func NewFileGridStore(path string) *FileGridStore {
 // Path returns the file the store persists to.
 func (s *FileGridStore) Path() string { return s.path }
 
-// Load implements GridStore.
-func (s *FileGridStore) Load(spec string) ([]StoredCell, error) {
-	data, err := os.ReadFile(s.path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+// BackupPath returns the last-good-state backup file Load recovers from.
+func (s *FileGridStore) BackupPath() string { return s.path + ".bak" }
+
+// readState reads and fully validates one checkpoint file: JSON shape,
+// format version, payload checksum, then spec. Corruption (unreadable,
+// unparsable, checksum mismatch) comes back as *CorruptCheckpointError;
+// version and spec rejections are semantic errors that no backup can
+// fix.
+func readState(path, spec string) ([]StoredCell, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("mpic: reading checkpoint: %w", err)
+		if os.IsNotExist(err) {
+			return nil, err // sentinel for the caller's fallback logic
+		}
+		return nil, &CorruptCheckpointError{Path: path, Reason: err}
 	}
 	var st fileGridState
 	if err := json.Unmarshal(data, &st); err != nil {
-		return nil, fmt.Errorf("mpic: parsing checkpoint %s: %w", s.path, err)
+		return nil, &CorruptCheckpointError{Path: path, Reason: err}
 	}
 	if st.Version != fileGridStoreVersion {
 		return nil, fmt.Errorf("mpic: checkpoint %s has format version %d; this build reads version %d — delete the file to restart the grid",
-			s.path, st.Version, fileGridStoreVersion)
+			path, st.Version, fileGridStoreVersion)
+	}
+	cellsJSON, err := json.Marshal(st.Cells)
+	if err != nil {
+		return nil, &CorruptCheckpointError{Path: path, Reason: err}
+	}
+	if sum := checkpointChecksum(st.Version, st.Spec, cellsJSON); sum != st.Checksum {
+		return nil, &CorruptCheckpointError{Path: path,
+			Reason: fmt.Errorf("payload checksum mismatch (stored %.12s…, computed %.12s…)", st.Checksum, sum)}
 	}
 	if st.Spec != spec {
 		return nil, fmt.Errorf("mpic: checkpoint %s was written by a different grid (%q); delete it or match the grid (%q)",
-			s.path, st.Spec, spec)
+			path, st.Spec, spec)
 	}
 	return st.Cells, nil
 }
 
-// Save implements GridStore.
+// Load implements GridStore, with last-good-state recovery: when the
+// primary file is corrupt — or missing while a backup exists, the window
+// a crash between Save's two renames leaves behind — the verified .bak
+// is loaded instead and OnRecovery (if set) is told why. Semantic
+// rejections (wrong format version, wrong spec) are returned as-is: a
+// backup of the same session could not answer differently.
+func (s *FileGridStore) Load(spec string) ([]StoredCell, error) {
+	cells, err := readState(s.path, spec)
+	if err == nil {
+		return cells, nil
+	}
+	var corrupt *CorruptCheckpointError
+	missing := os.IsNotExist(err)
+	if !missing && !errors.As(err, &corrupt) {
+		return nil, err // version/spec rejection: loud, unrecoverable
+	}
+	bcells, berr := readState(s.BackupPath(), spec)
+	if berr == nil {
+		if missing {
+			err = fmt.Errorf("mpic: checkpoint %s missing (crash between Save renames?)", s.path)
+		}
+		if s.OnRecovery != nil {
+			s.OnRecovery(err)
+		}
+		return bcells, nil
+	}
+	if missing {
+		// Neither file exists (or the backup is itself unusable for a
+		// session that never had a primary): an empty session.
+		if os.IsNotExist(berr) {
+			return nil, nil
+		}
+		return nil, berr
+	}
+	return nil, corrupt
+}
+
+// Save implements GridStore. The write path is ordered for crash
+// durability: marshal with checksum, write and fsync a temporary file,
+// rotate the current file — only after verifying it still parses, so the
+// backup always holds the last GOOD state — to .bak, rename the
+// temporary into place, and fsync the parent directory so both renames
+// survive power loss. A crash at any point leaves either the old state,
+// the new state, or a missing primary with a good backup — never a
+// half-written file presented as truth.
 func (s *FileGridStore) Save(spec string, cells []StoredCell) error {
+	cellsJSON, err := json.Marshal(cells)
+	if err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(fileGridState{
-		Version: fileGridStoreVersion,
-		Spec:    spec,
-		Cells:   cells,
+		Version:  fileGridStoreVersion,
+		Spec:     spec,
+		Checksum: checkpointChecksum(fileGridStoreVersion, spec, cellsJSON),
+		Cells:    cells,
 	}, "", "  ")
 	if err != nil {
 		return err
 	}
-	if dir := filepath.Dir(s.path); dir != "." {
+	dir := filepath.Dir(s.path)
+	if dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
 	tmp := s.path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.path)
+	// Rotate the previous state to .bak only when it verifies: a torn
+	// primary must not evict the good backup that is the recovery path.
+	if _, err := readState(s.path, spec); err == nil {
+		if err := os.Rename(s.path, s.BackupPath()); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes data to path and fsyncs it before closing — the
+// half of crash durability that guarantees the bytes, not just the name,
+// are on disk.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RetryingGridStore decorates any GridStore with bounded retries under
+// capped exponential backoff — the wrapper that keeps a transient I/O
+// error (NFS hiccup, antivirus lock, overloaded disk) from aborting a
+// durable session whose whole point is surviving interruptions.
+//
+// Corruption errors (*CorruptCheckpointError) and semantic rejections
+// are NOT retried-around by re-reading: a deterministic failure answers
+// the same every time, so only the first error class — everything else —
+// consumes attempts. The zero value of every knob picks a sane default.
+type RetryingGridStore struct {
+	// Inner is the decorated store.
+	Inner GridStore
+	// MaxAttempts is the total tries per operation (0 means 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt, doubling per
+	// attempt (0 means 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 means 250ms).
+	MaxDelay time.Duration
+	// Sleep replaces the backoff sleep (tests use a recording stub); nil
+	// means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// NewRetryingGridStore wraps inner with the default retry budget.
+func NewRetryingGridStore(inner GridStore) *RetryingGridStore {
+	return &RetryingGridStore{Inner: inner}
+}
+
+// retry runs op up to MaxAttempts times with capped doubling backoff.
+func (r *RetryingGridStore) retry(op func() error) error {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	delay := r.BaseDelay
+	if delay <= 0 {
+		delay = 5 * time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 250 * time.Millisecond
+	}
+	var err error
+	for a := 1; ; a++ {
+		err = op()
+		var corrupt *CorruptCheckpointError
+		if err == nil || a >= attempts || errors.As(err, &corrupt) {
+			return err
+		}
+		d := delay
+		if d > maxDelay {
+			d = maxDelay
+		}
+		if r.Sleep != nil {
+			r.Sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+		delay *= 2
+	}
+}
+
+// Load implements GridStore with retries.
+func (r *RetryingGridStore) Load(spec string) ([]StoredCell, error) {
+	var cells []StoredCell
+	err := r.retry(func() error {
+		var e error
+		cells, e = r.Inner.Load(spec)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// Save implements GridStore with retries.
+func (r *RetryingGridStore) Save(spec string, cells []StoredCell) error {
+	return r.retry(func() error { return r.Inner.Save(spec, cells) })
 }
 
 // gridFingerprintVersion versions the Fingerprint preimage, separately

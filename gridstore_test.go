@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"mpic"
 )
@@ -37,15 +38,19 @@ func readStore(t *testing.T, path string) (spec string, cells []json.RawMessage)
 		t.Fatal(err)
 	}
 	var state struct {
-		Version int
-		Spec    string
-		Cells   []json.RawMessage
+		Version  int
+		Spec     string
+		Checksum string
+		Cells    []json.RawMessage
 	}
 	if err := json.Unmarshal(data, &state); err != nil {
 		t.Fatal(err)
 	}
-	if state.Version != 1 {
-		t.Fatalf("store version = %d, want 1", state.Version)
+	if state.Version != 2 {
+		t.Fatalf("store version = %d, want 2", state.Version)
+	}
+	if len(state.Checksum) != 64 {
+		t.Fatalf("store checksum %q is not a hex SHA-256", state.Checksum)
 	}
 	return state.Spec, state.Cells
 }
@@ -217,6 +222,229 @@ func TestFileGridStoreContract(t *testing.T) {
 	}
 	if _, err := mpic.NewFileGridStore(legacy).Load("spec"); err == nil || !strings.Contains(err.Error(), "format version") {
 		t.Errorf("versionless checkpoint: got %v", err)
+	}
+	v1 := filepath.Join(dir, "v1.json")
+	if err := os.WriteFile(v1, []byte(`{"Version":1,"Spec":"spec","Cells":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpic.NewFileGridStore(v1).Load("spec"); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("pre-checksum v1 checkpoint: got %v", err)
+	}
+}
+
+// corruptTail truncates a store file mid-JSON — the shape a torn write
+// leaves behind.
+func corruptTail(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileGridStoreCorruptionRecovery pins the crash-durability
+// contract: a session file truncated mid-JSON (or checksum-corrupted in
+// place) recovers from the .bak last-good state with the OnRecovery hook
+// told why; with no usable backup, Load returns a clear typed
+// *CorruptCheckpointError instead of a bare JSON error; and the
+// crash-between-renames window (primary missing, backup present) also
+// recovers.
+func TestFileGridStoreCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	store := mpic.NewFileGridStore(path)
+	gen := func(n int) []mpic.StoredCell {
+		var cells []mpic.StoredCell
+		for i := 0; i < n; i++ {
+			cells = append(cells, mpic.StoredCell{Index: i, Key: mpic.GridKey{N: 4 + i}, Cell: mpic.SweepCell{N: 4 + i, Trials: 1}})
+		}
+		return cells
+	}
+
+	// No backup yet: a torn first save is a loud, typed corruption error.
+	if err := store.Save("spec", gen(1)); err != nil {
+		t.Fatal(err)
+	}
+	corruptTail(t, path)
+	_, err := store.Load("spec")
+	var corrupt *mpic.CorruptCheckpointError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("torn checkpoint without backup: got %v, want *CorruptCheckpointError", err)
+	}
+	if !strings.Contains(err.Error(), "delete the file") {
+		t.Errorf("corruption error gives no recovery guidance: %v", err)
+	}
+
+	// Rebuild two generations so a .bak exists, then tear the primary:
+	// Load must fall back to the last good state and report the recovery.
+	if err := store.Save("spec", gen(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("spec", gen(2)); err != nil {
+		t.Fatal(err)
+	}
+	corruptTail(t, path)
+	var recovered error
+	store.OnRecovery = func(reason error) { recovered = reason }
+	cells, err := store.Load("spec")
+	if err != nil {
+		t.Fatalf("torn checkpoint with backup: %v", err)
+	}
+	if len(cells) != 1 || !reflect.DeepEqual(cells, gen(1)) {
+		t.Fatalf("recovered %d cells %+v, want the last good state %+v", len(cells), cells, gen(1))
+	}
+	if recovered == nil || !errors.As(recovered, &corrupt) {
+		t.Errorf("OnRecovery reason = %v, want the corruption", recovered)
+	}
+
+	// The next Save must not rotate the torn primary over the good
+	// backup; after it, both primary and backup verify again.
+	if err := store.Save("spec", gen(3)); err != nil {
+		t.Fatal(err)
+	}
+	recovered = nil
+	if cells, err = store.Load("spec"); err != nil || len(cells) != 3 {
+		t.Fatalf("post-recovery save: got %d cells, %v", len(cells), err)
+	}
+	if recovered != nil {
+		t.Errorf("clean load after recovery still reported %v", recovered)
+	}
+
+	// Crash window between Save's two renames: primary missing, backup
+	// good — the session resumes from the backup instead of silently
+	// restarting as "empty".
+	if err := store.Save("spec", gen(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	cells, err = store.Load("spec")
+	if err != nil || len(cells) != 3 {
+		t.Fatalf("missing-primary recovery: got %d cells, %v, want the 3-cell backup", len(cells), err)
+	}
+	if recovered == nil {
+		t.Error("missing-primary recovery did not report through OnRecovery")
+	}
+
+	// In-place corruption that keeps the JSON valid: the checksum (which
+	// also covers the spec) catches it.
+	if err := store.Save("spec", gen(2)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	munged := strings.Replace(string(data), `"Trials": 1`, `"Trials": 9`, 1)
+	if munged == string(data) {
+		t.Fatal("test did not mutate the payload")
+	}
+	if err := os.WriteFile(path, []byte(munged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered = nil
+	if cells, err = store.Load("spec"); err != nil {
+		t.Fatalf("checksum recovery: %v", err)
+	}
+	if recovered == nil || !strings.Contains(recovered.Error(), "checksum") {
+		t.Errorf("valid-JSON corruption not caught by the checksum: recovery reason %v", recovered)
+	}
+	for _, c := range cells {
+		if c.Cell.Trials == 9 {
+			t.Fatal("corrupted payload served as truth")
+		}
+	}
+}
+
+// flakyStore fails its first n operations with a transient error.
+type flakyStore struct {
+	inner     mpic.GridStore
+	failNext  int
+	saves     int
+	loads     int
+	lastError error
+}
+
+func (f *flakyStore) op() error {
+	if f.failNext > 0 {
+		f.failNext--
+		f.lastError = errors.New("transient: device busy")
+		return f.lastError
+	}
+	return nil
+}
+
+func (f *flakyStore) Load(spec string) ([]mpic.StoredCell, error) {
+	f.loads++
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.Load(spec)
+}
+
+func (f *flakyStore) Save(spec string, cells []mpic.StoredCell) error {
+	f.saves++
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Save(spec, cells)
+}
+
+// TestRetryingGridStore pins the retry wrapper: transient errors are
+// absorbed within the attempt budget with capped doubling backoff,
+// exhausted budgets surface the last error, and corruption is never
+// retried (a deterministic failure answers the same every time).
+func TestRetryingGridStore(t *testing.T) {
+	dir := t.TempDir()
+	inner := mpic.NewFileGridStore(filepath.Join(dir, "s.json"))
+	flaky := &flakyStore{inner: inner, failNext: 2}
+	var slept []time.Duration
+	store := &mpic.RetryingGridStore{
+		Inner: flaky, MaxAttempts: 3,
+		BaseDelay: 4 * time.Millisecond, MaxDelay: 6 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	cells := []mpic.StoredCell{{Key: mpic.GridKey{N: 4}, Cell: mpic.SweepCell{N: 4, Trials: 1}}}
+	if err := store.Save("spec", cells); err != nil {
+		t.Fatalf("save within budget: %v", err)
+	}
+	if flaky.saves != 3 {
+		t.Errorf("save attempts = %d, want 3", flaky.saves)
+	}
+	if want := []time.Duration{4 * time.Millisecond, 6 * time.Millisecond}; !reflect.DeepEqual(slept, want) {
+		t.Errorf("backoff schedule = %v, want %v (doubling, capped)", slept, want)
+	}
+	if got, err := store.Load("spec"); err != nil || !reflect.DeepEqual(got, cells) {
+		t.Fatalf("load round-trip: %v, %v", got, err)
+	}
+
+	// Budget exhausted: the last transient error surfaces.
+	flaky.failNext = 5
+	if err := store.Save("spec", cells); err == nil || !strings.Contains(err.Error(), "transient") {
+		t.Errorf("exhausted budget: got %v", err)
+	}
+
+	// Corruption is not retried: one attempt, typed error through.
+	corruptTail(t, inner.Path())
+	os.Remove(inner.BackupPath())
+	flaky.failNext = 0
+	flaky.loads = 0
+	_, err := store.Load("spec")
+	var corrupt *mpic.CorruptCheckpointError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("corrupt load through retry wrapper: got %v", err)
+	}
+	if flaky.loads != 1 {
+		t.Errorf("corruption consumed %d attempts, want 1 (not retryable)", flaky.loads)
+	}
+	// Defaults: zero-value knobs pick the documented budget.
+	def := mpic.NewRetryingGridStore(flaky)
+	if def.Inner == nil {
+		t.Fatal("NewRetryingGridStore dropped the inner store")
 	}
 }
 

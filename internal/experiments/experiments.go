@@ -48,6 +48,12 @@ type Config struct {
 	// keep per-trial trajectories (KeepResults) always re-run: a
 	// checkpoint stores aggregates, not full Results.
 	Checkpoint string
+	// Retries gives every failed grid cell that many extra attempts
+	// under the engine's deterministic backoff (see mpic.RetryPolicy);
+	// retried cells are bit-identical to first-try ones, so the tables
+	// are unaffected. Experiments always fail fast once the budget is
+	// spent — a table with quarantined holes would not be a table.
+	Retries int
 }
 
 // DefaultConfig returns the configuration used to produce EXPERIMENTS.md.
@@ -225,6 +231,9 @@ func noiseCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float6
 // artefact to record its worker count first (see ROADMAP).
 func runGrid(cfg Config, salt string, cells []mpic.GridCell, keep bool) ([]mpic.GridCellResult, error) {
 	g := mpic.Grid{Cells: cells, Workers: 1, KeepResults: keep}
+	if cfg.Retries > 0 {
+		g.Retry = mpic.RetryPolicy{MaxAttempts: cfg.Retries + 1, JitterSeed: cfg.Seed}
+	}
 	if cfg.Checkpoint != "" && !keep {
 		g.Spec = salt + " " + g.Fingerprint()
 		sum := sha256.Sum256([]byte(g.Spec))

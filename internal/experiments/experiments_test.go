@@ -68,6 +68,23 @@ func TestSweepReproducesExperimentTable(t *testing.T) {
 	}
 }
 
+// sessionFiles lists the primary session files in a checkpoint dir,
+// skipping the .bak last-good-state copies the store keeps beside them.
+func sessionFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".bak") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
 // TestExperimentCheckpointResume pins the harness's durable sessions: a
 // checkpointed table renders the same rows as an uncheckpointed one, an
 // interrupted session (simulated by truncating the persisted cells)
@@ -88,37 +105,34 @@ func TestExperimentCheckpointResume(t *testing.T) {
 	if !reflect.DeepEqual(first.Rows, fresh.Rows) {
 		t.Fatalf("checkpointed rows differ from fresh:\n%v\n%v", first.Rows, fresh.Rows)
 	}
-	entries, err := os.ReadDir(cfg.Checkpoint)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 1 {
-		t.Fatalf("checkpoint dir holds %d session files, want 1", len(entries))
+	sessions := sessionFiles(t, cfg.Checkpoint)
+	if len(sessions) != 1 {
+		t.Fatalf("checkpoint dir holds %d session files, want 1", len(sessions))
 	}
 
-	// Simulate an interruption: drop the last two persisted cells.
-	path := filepath.Join(cfg.Checkpoint, entries[0].Name())
+	// Simulate an interruption: drop the last two persisted cells. The
+	// rewrite must go through the store API — the checksummed format
+	// correctly treats hand-edited checkpoint JSON as corruption.
+	path := filepath.Join(cfg.Checkpoint, sessions[0])
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var state struct {
-		Version int
-		Spec    string
-		Cells   []json.RawMessage
+		Spec string
 	}
 	if err := json.Unmarshal(data, &state); err != nil {
 		t.Fatal(err)
 	}
-	if len(state.Cells) != 5 {
-		t.Fatalf("session holds %d cells, want 5", len(state.Cells))
-	}
-	state.Cells = state.Cells[:3]
-	truncated, err := json.Marshal(state)
+	store := mpic.NewFileGridStore(path)
+	cells, err := store.Load(state.Spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+	if len(cells) != 5 {
+		t.Fatalf("session holds %d cells, want 5", len(cells))
+	}
+	if err := store.Save(state.Spec, cells[:3]); err != nil {
 		t.Fatal(err)
 	}
 	resumed, err := CCVsNoise(cfg)
@@ -145,12 +159,8 @@ func TestExperimentCheckpointResume(t *testing.T) {
 	if _, err := CCVsNoise(other); err != nil {
 		t.Fatalf("different config in the same checkpoint dir: %v", err)
 	}
-	entries, err = os.ReadDir(cfg.Checkpoint)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 2 {
-		t.Fatalf("checkpoint dir holds %d session files after a second config, want 2", len(entries))
+	if n := len(sessionFiles(t, cfg.Checkpoint)); n != 2 {
+		t.Fatalf("checkpoint dir holds %d session files after a second config, want 2", n)
 	}
 
 	// Trajectory experiments (KeepResults grids) bypass the store but

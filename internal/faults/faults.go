@@ -1,0 +1,58 @@
+// Package faults is a deterministic, seed-driven fault injector for the
+// grid engine's robustness tests: every failure decision — should this
+// Save error, should this cell panic, how long should this stall be — is
+// a pure function of a seed and the operation's coordinates, so a chaos
+// run is reproducible bit for bit from its seed, exactly like the
+// library's adversarial channel noise is reproducible from a scenario
+// seed. No global state, no time, no math/rand.
+//
+// The package deliberately does not import the root mpic package: the
+// store decorator is generic over the cell type (FaultyStore), which
+// keeps faults importable from in-package tests of mpic itself (where an
+// mpic import would be a cycle) as well as from external test packages.
+//
+// Three injection surfaces cover the host failure modes the engine must
+// tolerate:
+//
+//   - FaultyStore decorates any Load/Save checkpoint store with injected
+//     I/O errors, latency, and torn writes (a Save that reports success
+//     but leaves corrupt bytes behind, via the Tear hook).
+//   - CellPlan builds per-cell observer hooks that make worker cells
+//     panic or stall mid-run on a deterministic schedule.
+//   - Plan-free primitives (Roll, Pick) for tests that schedule their
+//     own faults.
+package faults
+
+import "hash/fnv"
+
+// mix is the splitmix64 finalizer: a cheap, high-quality bijection that
+// turns structured coordinates into uniform-looking 64-bit values.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// key folds a seed, a site label, and an operation ordinal into one
+// 64-bit coordinate. The site label namespaces decision streams so,
+// e.g., save-error and torn-write decisions at the same ordinal are
+// independent.
+func key(seed int64, site string, n uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return mix(mix(uint64(seed)^h.Sum64()) ^ n)
+}
+
+// Roll returns a uniform value in [0, 1), deterministic in
+// (seed, site, n). A fault with probability p fires iff
+// Roll(seed, site, n) < p.
+func Roll(seed int64, site string, n uint64) float64 {
+	return float64(key(seed, site, n)>>11) / float64(uint64(1)<<53)
+}
+
+// Pick returns a uniform value in [0, max), deterministic in
+// (seed, site, n). max must be positive.
+func Pick(seed int64, site string, n uint64, max int) int {
+	return int(key(seed, site, n) % uint64(max))
+}

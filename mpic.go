@@ -86,6 +86,38 @@
 //
 // See examples/progress for the full loop.
 //
+// # Fault tolerance
+//
+// The grid engine contains cell failures instead of letting them take
+// the batch down. A panic anywhere inside a cell — protocol code, a
+// noise closure, an observer — is recovered into a typed
+// *CellPanicError; Grid.Retry re-runs failed cells under capped
+// exponential backoff with deterministic jitter, and because retried
+// attempts re-derive the exact same trial seeds, a cell that fails
+// transiently and then succeeds is bit-identical to one that succeeded
+// first try. Grid.OnCellError selects what an unrecoverable cell does to
+// the rest of the grid: FailFast (the default) aborts, QuarantineCells
+// finishes the grid around it — failed cells stream with Err set, stay
+// out of the session store (a resumed run re-attempts them), and the run
+// returns a *GridFailure inventorying them:
+//
+//	grid.Retry = mpic.RetryPolicy{MaxAttempts: 3}
+//	grid.OnCellError = mpic.QuarantineCells
+//	err := runner.RunGrid(ctx, grid, sink)
+//	var gf *mpic.GridFailure
+//	if errors.As(err, &gf) { /* partial success; gf.Report says what failed */ }
+//
+// The storage layer is hardened the same way: FileGridStore fsyncs both
+// the checkpoint bytes and the rename that publishes them, checksums the
+// payload, and keeps the previous state as a verified-good .bak — a
+// checkpoint torn by a crash is detected (never half-parsed as truth)
+// and the session resumes from its last good state. RetryingGridStore
+// wraps any GridStore with bounded retries for transient I/O errors.
+// Both CLIs expose the machinery as -retries (and mpicbench's
+// -fail-fast=false), with exit code 3 distinguishing a quarantined
+// partial success from a hard failure. The deterministic fault injector
+// behind the chaos suite lives in internal/faults.
+//
 // Every named building block — topology family, workload, noise model —
 // lives in an open registry (RegisterTopology, RegisterWorkload,
 // RegisterNoise), so external packages plug in new ones without touching

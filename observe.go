@@ -83,6 +83,10 @@ func NewProgressLog(w io.Writer) GridProgressFunc {
 				id, p.Trial+1, p.Trials, status, p.Result.Blowup, p.Result.Iterations)
 		case GridCellDone:
 			fmt.Fprintf(w, "%s done (%d trials)\n", id, p.Trials)
+		case GridCellRetrying:
+			fmt.Fprintf(w, "%s attempt %d failed, retrying: %v\n", id, p.Attempt, p.Err)
+		case GridCellFailed:
+			fmt.Fprintf(w, "%s FAILED after %d attempt(s), quarantined: %v\n", id, p.Attempt, p.Err)
 		}
 	}
 }

@@ -75,6 +75,9 @@ type Sweep struct {
 	// Workers bounds how many cells execute concurrently (0 = GOMAXPROCS,
 	// 1 = sequential). Cell results are bit-identical at any setting.
 	Workers int
+	// Retry is the per-cell retry policy the expanded grid runs under
+	// (see Grid.Retry); the zero value runs each cell once.
+	Retry RetryPolicy
 }
 
 // Grid expands the sweep's axes into engine cells, in the nested
@@ -138,7 +141,7 @@ func (sw Sweep) Grid() (Grid, error) {
 			}
 		}
 	}
-	return Grid{Cells: cells, Workers: sw.Workers}, nil
+	return Grid{Cells: cells, Workers: sw.Workers, Retry: sw.Retry}, nil
 }
 
 // SweepCell aggregates the runs of one grid point.
