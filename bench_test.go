@@ -376,3 +376,47 @@ func BenchmarkScalingBudget(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMicroNetworkTiming puts the lockstep engine and the
+// virtual-time DES path side by side on the same scenario: the unit
+// variant runs the classic synchronous loop, jitter runs the event heap
+// with every symbol on time (pure DES overhead), and jitter-late pushes
+// the jitter band past the deadline so the late-symbol machinery and
+// insdel mapping engage too. The delta between unit and jitter is the
+// cost of virtual time; PERF.md records the trajectory.
+func BenchmarkMicroNetworkTiming(b *testing.B) {
+	variants := []struct {
+		name  string
+		delay mpic.DelaySpec
+	}{
+		{"lockstep", nil},
+		{"jitter-ontime", mpic.JitterDelay(0.5)},  // base 0.45 + 0.5 → never late
+		{"jitter-late", mpic.JitterDelay(0.8)},    // tail crosses the deadline
+		{"lognormal", mpic.LognormalDelay(0.25)},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			runner := mpic.NewRunner()
+			defer runner.Close()
+			sc := mpic.Scenario{
+				Topology: mpic.Clique(6), Workload: mpic.RandomTraffic(60),
+				Noise: mpic.RandomNoise(0.001), Scheme: mpic.AlgorithmA,
+				IterFactor: 20, Delay: v.delay,
+			}
+			var iters int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Seed = int64(i + 1)
+				res, err := runner.Run(context.Background(), sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters += res.Iterations
+			}
+			b.StopTimer()
+			if iters > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(iters), "ns/iteration")
+			}
+		})
+	}
+}

@@ -161,3 +161,109 @@ func TestChaosGridSoak(t *testing.T) {
 	t.Logf("chaos soak: %d cells (%d afflicted by panics), %d restored on resume, %d store recoveries, store stats %+v",
 		len(cells), afflicted, restored, len(recoveries), st)
 }
+
+// TestChaosNetworkSoak extends the chaos contract to the virtual-time
+// network (`make chaos` runs it under -race): a grid whose every cell
+// runs on the DES path — jitter, lognormal, and banded delay models,
+// with link outages, delay spikes, a straggler party, and one
+// crash-restart layered on top — executes as a durable parallel session
+// against a fault-injecting store, is cancelled mid-flight, and resumes.
+// The finished grid must be bit-identical to a clean sequential run,
+// per-trial virtual-time metrics included: timing faults are seed-pure
+// noise, not nondeterminism.
+func TestChaosNetworkSoak(t *testing.T) {
+	schedule := &NetFaults{
+		OutageRate: 0.01, SpikeRate: 0.05,
+		Stragglers: 1, Crashes: 1, CrashLen: 15,
+	}
+	var cells []GridCell
+	for _, n := range []int{4, 5} {
+		for _, d := range []DelaySpec{JitterDelay(0.8), LognormalDelay(0.3), BandedDelay(0.25)} {
+			cells = append(cells, GridCell{
+				Scenario: Scenario{
+					Topology: Clique(n), Workload: RandomTraffic(40),
+					Noise: RandomNoise(0.002), Seed: 3, IterFactor: 12,
+					Delay: d, Faults: schedule,
+				},
+				Trials: 2, SeedStep: 100,
+			})
+		}
+	}
+	runner := NewRunner()
+	defer runner.Close()
+
+	// Clean sequential baseline, trials kept for per-trial comparison.
+	want, err := runner.CollectGrid(context.Background(), Grid{Cells: cells, Workers: 1, KeepResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "netchaos.json")
+	inner := NewFileGridStore(path)
+	faulty := faults.NewFaultyStore[StoredCell](inner, faults.StoreFaults{
+		Seed: 17, SaveErrorRate: 0.2, LoadErrorRate: 0.2,
+	})
+	store := &RetryingGridStore{Inner: faulty, MaxAttempts: 8, Sleep: func(time.Duration) {}}
+	makeGrid := func() Grid {
+		return Grid{
+			Cells: cells, Workers: 4, KeepResults: true,
+			Store: store, Spec: "net-chaos-soak",
+		}
+	}
+
+	// Pass 1: cancel a third of the way through.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamed := 0
+	err = runner.RunGrid(ctx, makeGrid(), func(GridCellResult) {
+		streamed++
+		if streamed == len(cells)/3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pass returned %v, want a context.Canceled-derived error", err)
+	}
+
+	// Pass 2: resume to completion and compare bit for bit.
+	got, err := runner.CollectGrid(context.Background(), makeGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := 0
+	var late, erasures int64
+	for i := range want {
+		if got[i].Restored {
+			restored++
+		}
+		if !reflect.DeepEqual(got[i].Cell, want[i].Cell) {
+			t.Errorf("cell %d (delay %q) diverged from clean sequential run:\n got %+v\nwant %+v",
+				i, got[i].Key.Delay, got[i].Cell, want[i].Cell)
+		}
+		if len(got[i].Results) != len(want[i].Results) {
+			t.Fatalf("cell %d kept %d trials, want %d", i, len(got[i].Results), len(want[i].Results))
+		}
+		for j := range got[i].Results {
+			gm, wm := got[i].Results[j].Metrics, want[i].Results[j].Metrics
+			if !reflect.DeepEqual(gm, wm) {
+				t.Errorf("cell %d trial %d metrics diverged (restored=%v):\n got %+v\nwant %+v",
+					i, j, got[i].Restored, gm, wm)
+			}
+			if gm.Net == nil {
+				t.Fatalf("cell %d trial %d has no virtual-time metrics", i, j)
+			}
+			late += gm.Net.LateSymbols
+			erasures += gm.Net.Erasures
+		}
+	}
+	if restored == 0 {
+		t.Error("resume restored nothing; the session never held good state")
+	}
+	if late == 0 || erasures == 0 {
+		t.Errorf("the fault schedule never bit: %d late symbols, %d erasures — the soak stopped soaking", late, erasures)
+	}
+	if st := faulty.Stats(); st.SaveErrors == 0 && st.LoadErrors == 0 {
+		t.Errorf("store fault schedule injected nothing: %+v", st)
+	}
+	t.Logf("network chaos soak: %d cells, %d restored, %d late symbols, %d erasures", len(cells), restored, late, erasures)
+}

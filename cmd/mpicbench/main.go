@@ -30,6 +30,15 @@
 //
 //	mpicbench -sweep -sweep-n 4,6 -sweep-schemes A,B -sweep-rates 0,0.002 -trials 2
 //
+// In sweep mode, -delay adds a fourth grid axis of network delay models
+// (comma-separated name[:param], run on the virtual-time executor; the
+// table gains a delay column) and -netfaults layers a deterministic
+// network-fault schedule — outages, delay spikes, stragglers, crash-stop
+// parties — onto every cell:
+//
+//	mpicbench -sweep -sweep-n 6 -delay unit,jitter:0.5,lognormal:0.3 \
+//	    -netfaults outage=0.01,stragglers=1 -trials 2
+//
 // The -retries flag gives every failed grid cell that many extra
 // attempts under deterministic backoff (retried results are
 // bit-identical to first-try ones); in sweep mode -fail-fast=false
@@ -107,6 +116,8 @@ func run(args []string) error {
 		swIters    = fs.Int("sweep-iterfactor", 30, "sweep: iteration budget multiplier")
 		swParallel = fs.Int("parallel", 0, "sweep: concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
 		swCkpt     = fs.String("sweep-checkpoint", "", "sweep: incremental JSON checkpoint file; an existing one resumes the grid")
+		swDelay    = fs.String("delay", "", "sweep: comma-separated delay models (name[:param], "+strings.Join(mpic.DelayNames(), "|")+") run as a fourth grid axis; empty = lockstep")
+		swNetFlt   = fs.String("netfaults", "", "sweep: network-fault schedule applied to every cell, comma-separated k=v (outage, spike, stragglers, crashes, ...)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,15 +128,20 @@ func run(args []string) error {
 	if !*doSweep {
 		// Quarantine is a streaming-grid mode: a named experiment's table
 		// is meaningless with holes in it, so experiment mode always fails
-		// fast and the flag is rejected rather than ignored.
-		failFastSet := false
+		// fast and the flag is rejected rather than ignored. The network
+		// timing flags are likewise sweep-only: the named experiments pin
+		// the paper's lockstep tables.
+		var flagErr error
 		fs.Visit(func(fl *flag.Flag) {
-			if fl.Name == "fail-fast" {
-				failFastSet = true
+			switch fl.Name {
+			case "fail-fast":
+				flagErr = fmt.Errorf("-fail-fast applies to -sweep mode only (experiment tables always fail fast)")
+			case "delay", "netfaults":
+				flagErr = fmt.Errorf("-%s applies to -sweep mode only (experiment tables pin the lockstep network)", fl.Name)
 			}
 		})
-		if failFastSet {
-			return fmt.Errorf("-fail-fast applies to -sweep mode only (experiment tables always fail fast)")
+		if flagErr != nil {
+			return flagErr
 		}
 	}
 	if *doSweep {
@@ -151,6 +167,7 @@ func run(args []string) error {
 			iterFactor: *swIters, trials: *trials, seed: *seed, ratesSet: ratesSet,
 			parallel: *swParallel, checkpoint: *swCkpt,
 			retries: *retries, failFast: *failFast,
+			delays: *swDelay, netfaults: *swNetFlt,
 		})
 	}
 	if *ckptDir != "" && (*jsonPath != "" || *compare != "") {
@@ -280,13 +297,22 @@ type sweepFlags struct {
 	// quarantines cells that still fail instead of aborting the grid.
 	retries  int
 	failFast bool
+	// delays is the comma-separated -delay axis (empty = lockstep only);
+	// netfaults is the -netfaults schedule applied to every cell.
+	delays, netfaults string
 }
 
 // spec fingerprints the grid-defining flags; a checkpoint written under
-// a different spec must not be merged into this grid.
+// a different spec must not be merged into this grid. The network timing
+// flags join the spec only when set, so checkpoints from before those
+// flags existed keep their fingerprints.
 func (f sweepFlags) spec() string {
-	return fmt.Sprintf("topology=%s workload=%s rounds=%d noise=%s n=%s schemes=%s rates=%s trials=%d seed=%d iterfactor=%d",
+	s := fmt.Sprintf("topology=%s workload=%s rounds=%d noise=%s n=%s schemes=%s rates=%s trials=%d seed=%d iterfactor=%d",
 		f.topology, f.workload, f.rounds, f.noise, f.n, f.schemes, f.rates, f.trials, f.seed, f.iterFactor)
+	if f.delays != "" || f.netfaults != "" {
+		s += fmt.Sprintf(" delay=%s netfaults=%s", f.delays, f.netfaults)
+	}
+	return s
 }
 
 // runSweep executes the cartesian grid through the streaming parallel
@@ -329,10 +355,27 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	if base.Noise == nil && f.ratesSet {
 		return fmt.Errorf("-sweep-rates has no effect with -sweep-noise %q; pick a noise model to sweep rates over", f.noise)
 	}
+	if base.Faults, err = mpic.ParseNetFaults(f.netfaults); err != nil {
+		return err
+	}
+	var delays []mpic.DelaySpec
+	if f.delays != "" {
+		for _, part := range strings.Split(f.delays, ",") {
+			d, err := mpic.ParseDelay(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-delay: %w", err)
+			}
+			if d == nil {
+				d = mpic.LockstepDelay()
+			}
+			delays = append(delays, d)
+		}
+	}
 	sw := mpic.Sweep{
 		Base:     base,
 		N:        ns,
 		Schemes:  schemes,
+		Delays:   delays,
 		Trials:   f.trials,
 		SeedStep: 7907,
 		Workers:  f.parallel,
@@ -364,8 +407,14 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	// Row order under -parallel is completion order; the n/scheme/rate
 	// columns are the row identity, exactly like the checkpoint keys.
 	title := fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.workload, base.Topology.Name, f.noise)
+	// The delay column appears only when the delay axis is in use, so
+	// lockstep sweeps keep their historical table shape.
+	withDelay := len(delays) > 0
 	header := []string{"n", "scheme", "noise rate", "success", "mean blowup",
 		"mean iterations", "corruptions"}
+	if withDelay {
+		header = append([]string{"n", "scheme", "noise rate", "delay"}, header[3:]...)
+	}
 	fmt.Fprintf(w, "### SWEEP — %s\n\n", title)
 	fmt.Fprintln(w, "| "+strings.Join(header, " | ")+" |")
 	fmt.Fprintln(w, "|"+strings.Repeat("---|", len(header)))
@@ -378,14 +427,18 @@ func runSweep(w io.Writer, f sweepFlags) error {
 		// -parallel.
 		if res.Err != nil {
 			failed++
-			fmt.Fprintf(w, "| %d | %s | %g | ERROR | — | — | after %d attempt(s): %v |\n",
-				res.Key.N, res.Key.Scheme, res.Key.Rate, res.Attempts, res.Err)
+			dcol := ""
+			if withDelay {
+				dcol = fmt.Sprintf(" %s |", res.Key.Delay)
+			}
+			fmt.Fprintf(w, "| %d | %s | %g |%s ERROR | — | — | after %d attempt(s): %v |\n",
+				res.Key.N, res.Key.Scheme, res.Key.Rate, dcol, res.Attempts, res.Err)
 			return
 		}
 		if res.Restored {
 			restored++
 		}
-		fmt.Fprintln(w, sweepRow(res.Cell))
+		fmt.Fprintln(w, sweepRow(res.Cell, withDelay))
 	})
 	var gridFail *mpic.GridFailure
 	if err != nil && !errors.As(err, &gridFail) {
@@ -401,17 +454,28 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	return err
 }
 
-// sweepRow formats one completed cell as a markdown table row.
-func sweepRow(c mpic.SweepCell) string {
-	return "| " + strings.Join([]string{
+// sweepRow formats one completed cell as a markdown table row; withDelay
+// inserts the delay-axis column after the rate.
+func sweepRow(c mpic.SweepCell, withDelay bool) string {
+	cols := []string{
 		fmt.Sprint(c.N),
 		c.Scheme.String(),
 		fmt.Sprintf("%g", c.Rate),
+	}
+	if withDelay {
+		d := c.Delay
+		if d == "" {
+			d = "unit"
+		}
+		cols = append(cols, d)
+	}
+	cols = append(cols,
 		fmt.Sprintf("%d/%d", c.Successes, c.Trials),
 		fmt.Sprintf("%.1f", c.MeanBlowup()),
 		fmt.Sprintf("%.0f", c.MeanIterations()),
 		fmt.Sprint(c.Corruptions),
-	}, " | ") + " |"
+	)
+	return "| " + strings.Join(cols, " | ") + " |"
 }
 
 func parseInts(s string) ([]int, error) {

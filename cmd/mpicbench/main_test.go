@@ -270,8 +270,8 @@ func TestSweepCheckpointResume(t *testing.T) {
 	if err := json.Unmarshal(data, &ckpt); err != nil {
 		t.Fatal(err)
 	}
-	if ckpt.Version != 2 || ckpt.Spec == "" || len(ckpt.Cells) != 2 {
-		t.Fatalf("full checkpoint has version %d, spec %q and %d cells, want v2 with 2 cells",
+	if ckpt.Version != 3 || ckpt.Spec == "" || len(ckpt.Cells) != 2 {
+		t.Fatalf("full checkpoint has version %d, spec %q and %d cells, want v3 with 2 cells",
 			ckpt.Version, ckpt.Spec, len(ckpt.Cells))
 	}
 

@@ -24,6 +24,17 @@
 //
 //	mpicsim -topology line -n 6 -noise random -rate 0.002 -trials 20 -workers 4 \
 //	    -checkpoint trials.ckpt.json -observe -retries 2
+//
+// The -delay flag switches the network to the virtual-time executor
+// under a registered delay model (name[:param], e.g. lognormal:0.3);
+// -netfaults layers a deterministic network-fault schedule on top
+// (outages, delay spikes, stragglers, crash-stop parties) as
+// comma-separated k=v pairs. Timing faults surface in the result as
+// insdel noise plus virtual-time metrics (makespan, late symbols,
+// per-link delay quantiles):
+//
+//	mpicsim -n 6 -noise random -rate 0.002 -delay lognormal:0.25 \
+//	    -netfaults outage=0.01,stragglers=1,crashes=1
 package main
 
 import (
@@ -74,6 +85,9 @@ func run(w io.Writer, args []string) error {
 		parallel = fs.Bool("parallel", false, "use the concurrent network executor")
 		increm   = fs.Bool("incremental-hash", false, "checkpointed prefix hashing: per-iteration hash cost tracks transcript growth, not length")
 		observe  = fs.Bool("observe", false, "stream per-iteration progress to stderr (an mpic.Observer sink)")
+		obsEvery = fs.Int("observe-every", 0, "with -observe and -trials > 1: subsample iteration lines (print every k-th, with percent + ETA; 0 = every iteration, -1 = auto ~5% of the budget)")
+		delay    = fs.String("delay", "", "delay model name[:param] ("+strings.Join(mpic.DelayNames(), "|")+"; empty or 'none' = lockstep)")
+		netflt   = fs.String("netfaults", "", "network-fault schedule, comma-separated k=v: outage, outage-len, spike, spike-delay, stragglers, straggler-delay, crashes, crash-len, seed")
 		asJSON   = fs.Bool("json", false, "print the result as JSON")
 		doTrace  = fs.Bool("trace", false, "print the per-iteration potential trace")
 		trials   = fs.Int("trials", 1, "independent seeds to run (above 1: streamed through the grid engine)")
@@ -106,6 +120,12 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	if sc.Delay, err = mpic.ParseDelay(*delay); err != nil {
+		return err
+	}
+	if sc.Faults, err = mpic.ParseNetFaults(*netflt); err != nil {
+		return err
+	}
 	runner := mpic.NewRunner()
 	defer runner.Close()
 	if *trials > 1 {
@@ -117,7 +137,7 @@ func run(w io.Writer, args []string) error {
 		}
 		return runTrials(w, runner, sc, trialOpts{
 			trials: *trials, workers: *workers, retries: *retries,
-			checkpoint: *ckpt, observe: *observe, asJSON: *asJSON,
+			checkpoint: *ckpt, observe: *observe, obsEvery: *obsEvery, asJSON: *asJSON,
 		})
 	}
 	if *ckpt != "" {
@@ -149,6 +169,9 @@ type trialOpts struct {
 	retries         int
 	checkpoint      string
 	observe, asJSON bool
+	// obsEvery subsamples the -observe iteration stream: print every k-th
+	// line (with percent done and an ETA), -1 picks ~5% of the budget.
+	obsEvery int
 }
 
 // runTrials re-runs the scenario at consecutive seeds through the
@@ -180,7 +203,11 @@ func runTrials(w io.Writer, runner *mpic.Runner, sc mpic.Scenario, opts trialOpt
 		grid.Store = mpic.NewFileGridStore(opts.checkpoint)
 	}
 	if opts.observe {
-		grid.Progress = mpic.NewProgressLog(os.Stderr)
+		if opts.obsEvery != 0 {
+			grid.Progress = mpic.NewThrottledProgressLog(os.Stderr, opts.obsEvery)
+		} else {
+			grid.Progress = mpic.NewProgressLog(os.Stderr)
+		}
 	}
 	agg := mpic.SweepCell{}
 	restored, failed := 0, 0
@@ -273,6 +300,10 @@ func printHuman(w io.Writer, sc mpic.Scenario, res *mpic.Result) {
 	fmt.Fprintf(w, "  communication:  %d bits (blowup %.2fx)\n", res.Metrics.CC, res.Blowup)
 	fmt.Fprintf(w, "  noise:          %d corruptions (µ = %.5f), %d oracle hash collisions\n",
 		res.Metrics.TotalCorruptions(), res.Metrics.NoiseFraction(), res.Metrics.HashCollisions)
+	if n := res.Metrics.Net; n != nil {
+		fmt.Fprintf(w, "  network:        makespan %.1f rounds, %d late (%d redelivered, %d dropped), %d erasures, worst p99 delay %.2f\n",
+			n.Makespan, n.LateSymbols, n.LateDelivered, n.LateDropped, n.Erasures, n.MaxP99())
+	}
 	fmt.Fprintf(w, "  per phase CC:  ")
 	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
 		fmt.Fprintf(w, " %s=%d", ph, res.Metrics.CCPhase[ph])
@@ -297,6 +328,14 @@ func printJSON(w io.Writer, res *mpic.Result) error {
 		"noiseFraction":  res.Metrics.NoiseFraction(),
 		"hashCollisions": res.Metrics.HashCollisions,
 		"wrongParties":   res.WrongParties,
+	}
+	if n := res.Metrics.Net; n != nil {
+		out["makespan"] = n.Makespan
+		out["lateSymbols"] = n.LateSymbols
+		out["lateDelivered"] = n.LateDelivered
+		out["lateDropped"] = n.LateDropped
+		out["erasures"] = n.Erasures
+		out["worstP99Delay"] = n.MaxP99()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -113,8 +113,8 @@ func TestRunTrialsCheckpointResume(t *testing.T) {
 	if err := json.Unmarshal(data, &state); err != nil {
 		t.Fatal(err)
 	}
-	if state.Version != 2 || state.Spec == "" || len(state.Cells) != 3 {
-		t.Fatalf("checkpoint state = version %d, spec %q, %d cells; want v2 with 3 cells",
+	if state.Version != 3 || state.Spec == "" || len(state.Cells) != 3 {
+		t.Fatalf("checkpoint state = version %d, spec %q, %d cells; want v3 with 3 cells",
 			state.Version, state.Spec, len(state.Cells))
 	}
 

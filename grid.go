@@ -10,7 +10,7 @@ import (
 	"time"
 )
 
-// GridKey identifies one cell of a grid by its (n, scheme, rate)
+// GridKey identifies one cell of a grid by its (n, scheme, rate, delay)
 // coordinates — the explicit key streaming consumers and resumed runs
 // merge on, instead of relying on cell order.
 type GridKey struct {
@@ -21,6 +21,9 @@ type GridKey struct {
 	// Rate is the cell's noise rate; meaningful only for grids built over
 	// a rate axis (zero otherwise).
 	Rate float64
+	// Delay is the cell's delay-model name; "" means the lockstep
+	// network (so pre-delay grids keep their exact keys).
+	Delay string `json:",omitempty"`
 }
 
 // GridCell is one executable point of a Grid: a complete scenario, the
@@ -68,8 +71,11 @@ type Grid struct {
 	// GridCellResult — for consumers that need per-run detail (potential
 	// trajectories, round counts) beyond the SweepCell aggregate. Off by
 	// default: a long grid's Results would otherwise pin every
-	// transcript's metrics in memory. Cells restored from a Store carry
-	// nil Results regardless (checkpoints persist aggregates only).
+	// transcript's metrics in memory. With a Store set, a KeepResults
+	// grid also persists the serializable core of each trial's Result
+	// (see StoredResult), so restored cells stream their Results back and
+	// trajectory consumers resume without re-running — minus the fields a
+	// checkpoint cannot carry (Outputs, Arena).
 	KeepResults bool
 	// Store, when non-nil, makes the grid a durable session: completed
 	// cells already persisted under this grid's spec are restored (and
@@ -353,7 +359,9 @@ type GridCellResult struct {
 	// Cell is the aggregate over the cell's trials.
 	Cell SweepCell
 	// Results holds the per-trial results when Grid.KeepResults is set,
-	// in trial order; nil otherwise, and always nil for restored cells.
+	// in trial order; nil otherwise. Restored cells rebuild Results from
+	// the session store when it persisted them (KeepResults sessions do;
+	// restored results carry nil Outputs and Arena — see StoredResult).
 	Results []*Result
 	// Restored marks a cell replayed from the session's Store rather
 	// than executed this run.
@@ -514,7 +522,11 @@ func (g Grid) openSession() (*gridSession, []int, error) {
 		}
 		e.Index = i
 		s.cells = append(s.cells, e)
-		s.restored = append(s.restored, GridCellResult{Index: i, Key: e.Key, Cell: e.Cell, Restored: true})
+		res := GridCellResult{Index: i, Key: e.Key, Cell: e.Cell, Restored: true}
+		if g.KeepResults {
+			res.Results = restoreResults(e.Results)
+		}
+		s.restored = append(s.restored, res)
 	}
 	return s, pending, nil
 }
@@ -635,7 +647,7 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 					// session re-attempts it.
 					res.Err = err
 					res.Results = nil
-					res.Cell = SweepCell{N: res.Key.N, Scheme: res.Key.Scheme, Rate: res.Key.Rate}
+					res.Cell = SweepCell{N: res.Key.N, Scheme: res.Key.Scheme, Rate: res.Key.Rate, Delay: res.Key.Delay}
 					failed = append(failed, res)
 					if prog != nil {
 						prog.emit(GridProgress{
@@ -651,7 +663,10 @@ func (r *Runner) RunGrid(ctx context.Context, g Grid, sink GridSink) error {
 					continue
 				}
 				if err == nil && sess != nil {
-					sess.cells = append(sess.cells, StoredCell{Index: res.Index, Key: res.Key, Cell: res.Cell})
+					sess.cells = append(sess.cells, StoredCell{
+						Index: res.Index, Key: res.Key, Cell: res.Cell,
+						Results: storeResults(res.Results),
+					})
 					err = sess.save()
 				}
 				if err != nil {
@@ -755,7 +770,7 @@ func (r *Runner) runGridCellOnce(ctx context.Context, cell GridCell, index, tota
 			// identity so the failure is reported against the right cell.
 			res = GridCellResult{
 				Index: index, Key: key,
-				Cell: SweepCell{N: key.N, Scheme: key.Scheme, Rate: key.Rate},
+				Cell: SweepCell{N: key.N, Scheme: key.Scheme, Rate: key.Rate, Delay: key.Delay},
 			}
 			err = &CellPanicError{Cell: index, Key: key, Value: p, Stack: debug.Stack()}
 		}
@@ -792,6 +807,9 @@ func (c GridCell) key() GridKey {
 	if k.Scheme == 0 {
 		k.Scheme = AlgorithmA
 	}
+	if k.Delay == "" {
+		k.Delay = delayKeyName(c.Scenario.Delay)
+	}
 	return k
 }
 
@@ -809,7 +827,7 @@ func (r *Runner) runGridCell(ctx context.Context, cell GridCell, index, total in
 	out := GridCellResult{
 		Index: index,
 		Key:   key,
-		Cell:  SweepCell{N: key.N, Scheme: key.Scheme, Rate: key.Rate},
+		Cell:  SweepCell{N: key.N, Scheme: key.Scheme, Rate: key.Rate, Delay: key.Delay},
 	}
 	agg := &out.Cell
 	for trial := 0; trial < trials; trial++ {

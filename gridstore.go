@@ -8,25 +8,120 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"mpic/internal/trace"
 )
 
 // StoredCell is one persisted cell of a durable grid session: the cell's
-// identity and its completed aggregate. Per-trial Results are never
-// persisted — a checkpoint stores what a resumed run needs to merge, not
-// a run's full trajectory — so cells restored from a store carry a nil
-// GridCellResult.Results even under Grid.KeepResults.
+// identity, its completed aggregate, and — for Grid.KeepResults sessions
+// — the serializable core of every trial's Result, so trajectory
+// consumers (rewind-wave, potential, rounds tables) resume through the
+// store instead of re-running.
 type StoredCell struct {
 	// Index is the cell's position in Grid.Cells when it completed. On
 	// resume it disambiguates duplicate keys: cells whose (n, scheme,
-	// rate) key appears more than once in a grid reclaim their own entry
-	// instead of the first key match.
+	// rate, delay) key appears more than once in a grid reclaim their own
+	// entry instead of the first key match.
 	Index int
-	// Key is the cell's (n, scheme, rate) identity — what resume matches
-	// on, so a checkpoint merges correctly whatever order the engine
-	// completed the cells in.
+	// Key is the cell's (n, scheme, rate, delay) identity — what resume
+	// matches on, so a checkpoint merges correctly whatever order the
+	// engine completed the cells in.
 	Key GridKey
 	// Cell is the completed aggregate.
 	Cell SweepCell
+	// Results holds the per-trial results of a KeepResults session, in
+	// trial order; nil for plain (aggregate-only) sessions.
+	Results []*StoredResult `json:",omitempty"`
+}
+
+// StoredResult is the serializable core of one trial's Result — every
+// field a resumed trajectory consumer reads (metrics with the full
+// virtual-time accounting, potential snapshots, white-box stats), minus
+// the two a checkpoint cannot reasonably carry: Outputs (the parties'
+// raw output bytes, redundant with Success/WrongParties) and Arena (a
+// live pool's counters, meaningless across processes). Restored Results
+// leave those two nil.
+type StoredResult struct {
+	Success         bool
+	CCProtocol      int
+	Blowup          float64
+	NumChunks       int
+	Iterations      int
+	GStar           int
+	BrokenSeedLinks int
+	WrongParties    int
+	Metrics         trace.Metrics
+	Potential       []Snapshot     `json:",omitempty"`
+	WhiteBox        *WhiteBoxStats `json:",omitempty"`
+}
+
+// storeResult converts a trial Result into its persisted form.
+func storeResult(r *Result) *StoredResult {
+	if r == nil {
+		return nil
+	}
+	s := &StoredResult{
+		Success:         r.Success,
+		CCProtocol:      r.CCProtocol,
+		Blowup:          r.Blowup,
+		NumChunks:       r.NumChunks,
+		Iterations:      r.Iterations,
+		GStar:           r.GStar,
+		BrokenSeedLinks: r.BrokenSeedLinks,
+		WrongParties:    r.WrongParties,
+		Potential:       r.Potential,
+		WhiteBox:        r.WhiteBox,
+	}
+	if r.Metrics != nil {
+		s.Metrics = *r.Metrics
+	}
+	return s
+}
+
+// result converts the persisted form back into a Result (Outputs and
+// Arena stay nil; see StoredResult).
+func (s *StoredResult) result() *Result {
+	if s == nil {
+		return nil
+	}
+	m := s.Metrics
+	return &Result{
+		Success:         s.Success,
+		Metrics:         &m,
+		CCProtocol:      s.CCProtocol,
+		Blowup:          s.Blowup,
+		NumChunks:       s.NumChunks,
+		Iterations:      s.Iterations,
+		GStar:           s.GStar,
+		BrokenSeedLinks: s.BrokenSeedLinks,
+		WrongParties:    s.WrongParties,
+		Potential:       s.Potential,
+		WhiteBox:        s.WhiteBox,
+	}
+}
+
+// storeResults and restoreResults lift the conversions over a cell's
+// trial slice.
+func storeResults(rs []*Result) []*StoredResult {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]*StoredResult, len(rs))
+	for i, r := range rs {
+		out[i] = storeResult(r)
+	}
+	return out
+}
+
+func restoreResults(ss []*StoredResult) []*Result {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]*Result, len(ss))
+	for i, s := range ss {
+		out[i] = s.result()
+	}
+	return out
 }
 
 // GridStore persists the completed cells of a grid session — the
@@ -57,8 +152,9 @@ type GridStore interface {
 // checkpoints from other versions instead of guessing at their layout
 // (version 0 — the pre-session format once private to mpicbench — is
 // rejected with the same message; version 1 predates the payload
-// checksum).
-const fileGridStoreVersion = 2
+// checksum; version 2 predates the delay key field and per-trial
+// Results, whose checksums this build could no longer reproduce).
+const fileGridStoreVersion = 3
 
 // fileGridState is the on-disk JSON shape of FileGridStore.
 type fileGridState struct {
@@ -435,9 +531,16 @@ func (sc Scenario) fingerprint() string {
 	case wl == "":
 		wl = "random"
 	}
-	return fmt.Sprintf("topo=%s wl=%s/%d scheme=%d noise=%s seed=%d iters=%d faithful=%t inc=%t wb=%g",
+	fp := fmt.Sprintf("topo=%s wl=%s/%d scheme=%d noise=%s seed=%d iters=%d faithful=%t inc=%t wb=%g",
 		topo, wl, sc.Workload.Rounds, sc.Scheme, describeNoise(sc.Noise),
 		sc.Seed, sc.IterFactor, sc.Faithful, sc.IncrementalHash, sc.WhiteBoxRate)
+	// The network-model suffix appears only when a scenario actually sets
+	// a delay or fault schedule, so every pre-virtual-time session keeps
+	// its exact fingerprint and resumes unchanged.
+	if sc.Delay != nil || sc.Faults != nil {
+		fp += fmt.Sprintf(" delay=%s netfaults=%s", describeDelay(sc.Delay), describeFaults(sc.Faults))
+	}
+	return fp
 }
 
 // describeNoise renders a noise spec for fingerprinting: the built-in
@@ -459,4 +562,33 @@ func describeNoise(n NoiseSpec) string {
 	default:
 		return n.NoiseName()
 	}
+}
+
+// describeDelay renders a delay spec for fingerprinting: the built-in
+// specs expose their full parameterization, anything else its name.
+func describeDelay(d DelaySpec) string {
+	switch s := d.(type) {
+	case nil:
+		return "none"
+	case LockstepDelaySpec:
+		return "unit"
+	case JitterDelaySpec:
+		return fmt.Sprintf("jitter(%g,%g)", s.Base, s.Jitter)
+	case LognormalDelaySpec:
+		return fmt.Sprintf("lognormal(%g,%g)", s.Median, s.Sigma)
+	case BandedDelaySpec:
+		return fmt.Sprintf("bands(%g)", s.SlowFraction)
+	default:
+		return d.DelayName()
+	}
+}
+
+// describeFaults renders a fault schedule for fingerprinting.
+func describeFaults(f *NetFaults) string {
+	if f == nil {
+		return "none"
+	}
+	return fmt.Sprintf("sched(seed=%d,outage=%g/%d,spike=%g/%g,strag=%d/%g,crash=%d/%d)",
+		f.Seed, f.OutageRate, f.OutageLen, f.SpikeRate, f.SpikeDelay,
+		f.Stragglers, f.StragglerDelay, f.Crashes, f.CrashLen)
 }

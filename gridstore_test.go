@@ -46,8 +46,8 @@ func readStore(t *testing.T, path string) (spec string, cells []json.RawMessage)
 	if err := json.Unmarshal(data, &state); err != nil {
 		t.Fatal(err)
 	}
-	if state.Version != 2 {
-		t.Fatalf("store version = %d, want 2", state.Version)
+	if state.Version != 3 {
+		t.Fatalf("store version = %d, want 3", state.Version)
 	}
 	if len(state.Checksum) != 64 {
 		t.Fatalf("store checksum %q is not a hex SHA-256", state.Checksum)
@@ -698,6 +698,91 @@ func TestGridFingerprint(t *testing.T) {
 	} {
 		if mk(mut) == base {
 			t.Errorf("fingerprint blind to %s", name)
+		}
+	}
+}
+
+// TestKeepResultsPersistAndRestore pins satellite persistence: a
+// KeepResults grid under a durable session stores every trial's Result
+// (as StoredResult), and a resumed run streams them back bit-identical —
+// metrics, potential trajectories, and virtual-time NetStats included —
+// with only the documented omissions (Outputs, Arena) nil.
+func TestKeepResultsPersistAndRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keep.json")
+	mk := func() mpic.Grid {
+		base := gridBase()
+		base.Noise = mpic.RandomNoise(0.002)
+		base.Delay = mpic.JitterDelay(0.8)
+		base.Faults = &mpic.NetFaults{SpikeRate: 0.05}
+		grid, err := mpic.Sweep{
+			Base:     base,
+			Rates:    []float64{0, 0.002},
+			Trials:   2,
+			SeedStep: 100,
+		}.Grid()
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid.KeepResults = true
+		grid.Store = mpic.NewFileGridStore(path)
+		return grid
+	}
+	runner := mpic.NewRunner()
+	defer runner.Close()
+
+	fresh, err := runner.CollectGrid(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := runner.CollectGrid(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(fresh) {
+		t.Fatalf("replay returned %d cells, want %d", len(replayed), len(fresh))
+	}
+	for i := range replayed {
+		if !replayed[i].Restored {
+			t.Fatalf("cell %d re-ran on a complete KeepResults checkpoint", i)
+		}
+		if len(replayed[i].Results) != len(fresh[i].Results) || len(replayed[i].Results) == 0 {
+			t.Fatalf("cell %d restored %d trial results, want %d",
+				i, len(replayed[i].Results), len(fresh[i].Results))
+		}
+		for j, got := range replayed[i].Results {
+			want := fresh[i].Results[j]
+			if got.Outputs != nil || got.Arena != nil {
+				t.Errorf("cell %d trial %d: restored result carries Outputs/Arena", i, j)
+			}
+			if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+				t.Errorf("cell %d trial %d metrics differ after restore:\n%+v\n%+v",
+					i, j, got.Metrics, want.Metrics)
+			}
+			if got.Metrics.Net == nil {
+				t.Errorf("cell %d trial %d lost its NetStats in the store", i, j)
+			}
+			if !reflect.DeepEqual(got.Potential, want.Potential) {
+				t.Errorf("cell %d trial %d potential trajectory differs after restore", i, j)
+			}
+			if got.Success != want.Success || got.Blowup != want.Blowup ||
+				got.Iterations != want.Iterations || got.GStar != want.GStar ||
+				got.NumChunks != want.NumChunks || got.CCProtocol != want.CCProtocol {
+				t.Errorf("cell %d trial %d scalar fields differ after restore", i, j)
+			}
+		}
+	}
+
+	// A grid without KeepResults restores from the same file shape with
+	// Results empty — the stored trials are simply not streamed back.
+	plain := mk()
+	plain.KeepResults = false
+	noKeep, err := runner.CollectGrid(context.Background(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range noKeep {
+		if len(noKeep[i].Results) != 0 {
+			t.Errorf("cell %d streamed Results without KeepResults", i)
 		}
 	}
 }

@@ -53,6 +53,15 @@ type Options struct {
 	WhiteBoxRate float64
 	// Parallel enables the concurrent send executor.
 	Parallel bool
+	// Delay, if non-nil and not lockstep (or if NetFaults is set), runs
+	// the network on the virtual-time discrete-event path with the given
+	// flight-delay model; Metrics.Net then reports the timing story. Nil
+	// or lockstep with no faults keeps the classic synchronous engine.
+	Delay network.DelayModel
+	// NetFaults, if non-nil, is the network-fault schedule (outages,
+	// spikes, stragglers, crash-restarts) wired over the run's party
+	// count and round budget.
+	NetFaults *network.FaultSchedule
 	// Observers receive per-iteration callbacks (and, when they implement
 	// the optional extensions, run start/end callbacks). Observers watch;
 	// they cannot influence the run.
@@ -249,6 +258,16 @@ func Run(opts Options) (*Result, error) {
 	}
 	eng.Parallel = opts.Parallel
 	defer eng.Close()
+	if opts.Delay != nil || opts.NetFaults != nil {
+		var wired *network.WiredFaults
+		if opts.NetFaults != nil {
+			wired, err = opts.NetFaults.Wire(g.N(), lay.totalRounds())
+			if err != nil {
+				return nil, err
+			}
+		}
+		eng.SetTiming(opts.Delay, wired)
+	}
 	eng.SetPhaseFn(func(round int) trace.Phase {
 		_, ph, _ := lay.phaseAt(round)
 		return ph

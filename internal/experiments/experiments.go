@@ -45,8 +45,8 @@ type Config struct {
 	// instead of restarting from zero. Restored cells are bit-identical
 	// to re-run ones (the engine's determinism guarantee), so
 	// checkpointed and fresh tables render the same rows. Grids that
-	// keep per-trial trajectories (KeepResults) always re-run: a
-	// checkpoint stores aggregates, not full Results.
+	// keep per-trial trajectories (KeepResults) persist those too, so
+	// the rewind-wave/potential/rounds tables resume like the rest.
 	Checkpoint string
 	// Retries gives every failed grid cell that many extra attempts
 	// under the engine's deterministic backoff (see mpic.RetryPolicy);
@@ -206,8 +206,9 @@ func noiseCell(scheme core.Scheme, g *graph.Graph, noiseKind string, rate float6
 // the shared runner's streaming engine and returns the completed cells
 // in definition order. keep retains each trial's full result (for
 // experiments that read per-run trajectories such as the potential or
-// the round count); such grids skip the checkpoint store, since restored
-// cells carry aggregates only.
+// the round count); with a checkpoint those trials persist as
+// StoredResults and restored cells stream them back, so trajectory
+// tables resume too.
 //
 // salt is the experiment's own contribution to the session identity: at
 // least the table ID, plus every parameter the grid fingerprint cannot
@@ -234,7 +235,7 @@ func runGrid(cfg Config, salt string, cells []mpic.GridCell, keep bool) ([]mpic.
 	if cfg.Retries > 0 {
 		g.Retry = mpic.RetryPolicy{MaxAttempts: cfg.Retries + 1, JitterSeed: cfg.Seed}
 	}
-	if cfg.Checkpoint != "" && !keep {
+	if cfg.Checkpoint != "" {
 		g.Spec = salt + " " + g.Fingerprint()
 		sum := sha256.Sum256([]byte(g.Spec))
 		g.Store = mpic.NewFileGridStore(filepath.Join(cfg.Checkpoint,

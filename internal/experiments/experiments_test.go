@@ -163,10 +163,19 @@ func TestExperimentCheckpointResume(t *testing.T) {
 		t.Fatalf("checkpoint dir holds %d session files after a second config, want 2", n)
 	}
 
-	// Trajectory experiments (KeepResults grids) bypass the store but
-	// must still run under a checkpointed Config.
-	if _, err := PotentialGrowth(cfg); err != nil {
+	// Trajectory experiments (KeepResults grids) persist per-trial
+	// Results too: a second run replays the table from the store alone
+	// and must render identical rows.
+	traj, err := PotentialGrowth(cfg)
+	if err != nil {
 		t.Fatalf("KeepResults experiment under checkpointing: %v", err)
+	}
+	trajReplayed, err := PotentialGrowth(cfg)
+	if err != nil {
+		t.Fatalf("KeepResults replay: %v", err)
+	}
+	if !reflect.DeepEqual(trajReplayed.Rows, traj.Rows) {
+		t.Fatalf("replayed trajectory rows differ from fresh:\n%v\n%v", trajReplayed.Rows, traj.Rows)
 	}
 }
 

@@ -23,36 +23,18 @@
 //     own faults.
 package faults
 
-import "hash/fnv"
-
-// mix is the splitmix64 finalizer: a cheap, high-quality bijection that
-// turns structured coordinates into uniform-looking 64-bit values.
-func mix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// key folds a seed, a site label, and an operation ordinal into one
-// 64-bit coordinate. The site label namespaces decision streams so,
-// e.g., save-error and torn-write decisions at the same ordinal are
-// independent.
-func key(seed int64, site string, n uint64) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(site))
-	return mix(mix(uint64(seed)^h.Sum64()) ^ n)
-}
+import "mpic/internal/detrand"
 
 // Roll returns a uniform value in [0, 1), deterministic in
 // (seed, site, n). A fault with probability p fires iff
-// Roll(seed, site, n) < p.
+// Roll(seed, site, n) < p. It is internal/detrand's Roll, re-exported so
+// chaos tests keep a single import.
 func Roll(seed int64, site string, n uint64) float64 {
-	return float64(key(seed, site, n)>>11) / float64(uint64(1)<<53)
+	return detrand.Roll(seed, site, n)
 }
 
 // Pick returns a uniform value in [0, max), deterministic in
 // (seed, site, n). max must be positive.
 func Pick(seed int64, site string, n uint64, max int) int {
-	return int(key(seed, site, n) % uint64(max))
+	return detrand.Pick(seed, site, n, max)
 }

@@ -1,0 +1,154 @@
+package network
+
+import (
+	"math"
+
+	"mpic/internal/channel"
+	"mpic/internal/detrand"
+)
+
+// DelayModel assigns every transmission a virtual-time flight delay,
+// measured in round-periods: a symbol sent at the start of round r
+// (virtual time r) arrives at r + Delay. The round's deadline is r+1, so
+// a delay ≤ 1 is on time and a delay > 1 makes the symbol late — which
+// the deadline synchronizer maps onto the paper's insdel noise model
+// (a deletion at the deadline, an out-of-band insertion when it lands).
+//
+// Delay must be a pure function of its arguments and the model's own
+// configuration (draw randomness through internal/detrand's site-hashed
+// primitives, never a stateful RNG): the DES core relies on it for
+// bit-identical replay from a seed at any worker count.
+type DelayModel interface {
+	// Delay returns the flight time, in rounds, of the symbol sent in
+	// `round` on the directed link `link`. Must be positive.
+	Delay(round int, link channel.Link) float64
+	// Lockstep reports whether the model is the unit model (every delay
+	// exactly 1.0). The engine runs lockstep models without a fault
+	// schedule on the classic synchronous path, byte-identical to the
+	// pre-virtual-time engine.
+	Lockstep() bool
+}
+
+// delayOrd folds a (round, link) coordinate into the ordinal fed to the
+// site-hashed fault primitives. The multipliers keep distinct
+// coordinates from colliding before detrand.Roll's own mixing.
+func delayOrd(round int, link channel.Link) uint64 {
+	return uint64(round)*0x9e3779b97f4a7c15 ^ uint64(link.From)<<20 ^ uint64(link.To)
+}
+
+// linkOrd identifies a directed link alone (round-independent draws,
+// e.g. a link's delay band).
+func linkOrd(link channel.Link) uint64 {
+	return uint64(link.From)<<32 | uint64(link.To)
+}
+
+// Unit is the lockstep delay model: every symbol takes exactly one round
+// and arrives exactly at its deadline. It reproduces the paper's
+// synchronous network.
+type Unit struct{}
+
+// Delay implements DelayModel.
+func (Unit) Delay(int, channel.Link) float64 { return 1.0 }
+
+// Lockstep implements DelayModel.
+func (Unit) Lockstep() bool { return true }
+
+// FixedJitter is base delay plus uniform jitter: each symbol's flight
+// time is Base + Jitter·U where U is a seed-deterministic uniform [0,1)
+// draw per (round, link). With Base+Jitter ≤ 1 no symbol is ever late;
+// pushing the range past 1 makes the tail miss deadlines.
+type FixedJitter struct {
+	// Base is the minimum flight time in rounds.
+	Base float64
+	// Jitter is the width of the uniform jitter band in rounds.
+	Jitter float64
+	// Seed drives the per-symbol draws.
+	Seed int64
+}
+
+// Delay implements DelayModel.
+func (m FixedJitter) Delay(round int, link channel.Link) float64 {
+	return m.Base + m.Jitter*detrand.Roll(m.Seed, "delay-jitter", delayOrd(round, link))
+}
+
+// Lockstep implements DelayModel.
+func (m FixedJitter) Lockstep() bool { return false }
+
+// Lognormal draws flight times from a lognormal distribution — the
+// standard model of legitimate wide-area latency (cf. the
+// satnet-simulator's LegitMu/LegitSigma): median Median, log-scale
+// spread Sigma. The heavy upper tail produces occasional late symbols
+// without any symbol ever being early-infinite: delays are clamped
+// below at a small positive floor.
+type Lognormal struct {
+	// Median is the distribution's median flight time in rounds.
+	Median float64
+	// Sigma is the log-scale standard deviation.
+	Sigma float64
+	// Seed drives the per-symbol draws.
+	Seed int64
+}
+
+// Delay implements DelayModel.
+func (m Lognormal) Delay(round int, link channel.Link) float64 {
+	ord := delayOrd(round, link)
+	// Box–Muller from two independent site-hashed uniforms; u1 is kept
+	// away from 0 so the log stays finite.
+	u1 := detrand.Roll(m.Seed, "delay-ln-u1", ord)
+	u2 := detrand.Roll(m.Seed, "delay-ln-u2", ord)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	d := m.Median * math.Exp(m.Sigma*z)
+	if d < 1e-3 {
+		d = 1e-3
+	}
+	return d
+}
+
+// Lockstep implements DelayModel.
+func (m Lognormal) Lockstep() bool { return false }
+
+// Band is one latency class of the Bands model: flight times uniform in
+// [Base, Base+Jitter).
+type Band struct {
+	// Fraction is the probability a directed link belongs to this band;
+	// fractions should sum to 1 (the last band absorbs any remainder).
+	Fraction float64
+	// Base and Jitter shape the band's uniform delay, in rounds.
+	Base, Jitter float64
+}
+
+// Bands is the heterogeneous per-link model (à la the satnet-simulator's
+// SatellitePath classes — LEO-fast vs GEO-slow): each directed link is
+// assigned one Band once, by a seed-deterministic draw, and all its
+// symbols fly with that band's base+jitter delay.
+type Bands struct {
+	// Bands are the latency classes; must be non-empty.
+	Bands []Band
+	// Seed drives both the band assignment and the per-symbol jitter.
+	Seed int64
+}
+
+// band returns the band a directed link is assigned to.
+func (m Bands) band(link channel.Link) Band {
+	u := detrand.Roll(m.Seed, "delay-band", linkOrd(link))
+	acc := 0.0
+	for _, b := range m.Bands {
+		acc += b.Fraction
+		if u < acc {
+			return b
+		}
+	}
+	return m.Bands[len(m.Bands)-1]
+}
+
+// Delay implements DelayModel.
+func (m Bands) Delay(round int, link channel.Link) float64 {
+	b := m.band(link)
+	return b.Base + b.Jitter*detrand.Roll(m.Seed, "delay-band-jitter", delayOrd(round, link))
+}
+
+// Lockstep implements DelayModel.
+func (m Bands) Lockstep() bool { return false }

@@ -1,8 +1,18 @@
-// Package network is the synchronous round engine of Section 2.1: in each
-// round any subset of parties may transmit one symbol per incident link
-// per direction; the adversary is consulted on every directed link every
-// round (so it can insert into silent slots); deliveries happen at the end
-// of the round, so information travels at one hop per round.
+// Package network is the round engine of Section 2.1: in each round any
+// subset of parties may transmit one symbol per incident link per
+// direction; the adversary is consulted on every directed link every
+// round (so it can insert into silent slots); deliveries happen at the
+// end of the round, so information travels at one hop per round.
+//
+// The engine has two execution paths. The classic synchronous path is
+// the paper's lockstep model — every symbol takes exactly one round. The
+// virtual-time path (SetTiming; see vtime.go) runs the same rounds over
+// a discrete-event core with per-symbol flight delays (DelayModel) and a
+// network-fault schedule (FaultSchedule): a deadline synchronizer maps
+// timing faults — late symbols, link outages, stragglers, crashed
+// parties — onto the paper's insdel noise model, so the protocol and the
+// coding scheme are untouched semantically. Both paths are bit-exactly
+// deterministic from their seeds at any GOMAXPROCS.
 package network
 
 import (
@@ -67,6 +77,14 @@ type Engine struct {
 	ranges  []sendRange
 	pool    *sendPool
 	maxProc int // GOMAXPROCS snapshot taken at construction
+	// timing, when non-nil, switches the engine onto the virtual-time
+	// discrete-event path (see vtime.go). Installed by SetTiming; nil
+	// engines run the classic synchronous loop.
+	timing *timedState
+	// forceTimed makes SetTiming install the DES path even for lockstep
+	// models with no faults — test-only, to prove DES-under-unit-delay
+	// is equivalent to the synchronous loop.
+	forceTimed bool
 	// parallelHint, when set, marks the rounds worth parallelizing. Most
 	// rounds of the coding scheme move one symbol per link and are
 	// dominated by the pool's synchronization; the caller (which knows the
@@ -163,13 +181,9 @@ func (e *Engine) RunRounds(from, to int) {
 	}
 }
 
-func (e *Engine) step(round int) {
-	phase := trace.Phase(-1)
-	if e.phaseFn != nil {
-		phase = e.phaseFn(round)
-	}
-	// Collect phase: every party decides its outgoing symbols based on
-	// deliveries from strictly earlier rounds.
+// collectSends runs one round's Send phase (sequential or pooled) into
+// sendBuf. Both the synchronous and the virtual-time paths use it.
+func (e *Engine) collectSends(round int) {
 	if e.Parallel && len(e.ranges) > 1 && e.maxProc > 1 &&
 		(e.parallelHint == nil || e.parallelHint(round)) {
 		if e.pool == nil {
@@ -181,6 +195,20 @@ func (e *Engine) step(round int) {
 			e.sendBuf[i] = e.parties[l.From].Send(round, l.To)
 		}
 	}
+}
+
+func (e *Engine) step(round int) {
+	if e.timing != nil {
+		e.stepTimed(round)
+		return
+	}
+	phase := trace.Phase(-1)
+	if e.phaseFn != nil {
+		phase = e.phaseFn(round)
+	}
+	// Collect phase: every party decides its outgoing symbols based on
+	// deliveries from strictly earlier rounds.
+	e.collectSends(round)
 	// Noise + delivery phase.
 	for i, l := range e.links {
 		sent := e.sendBuf[i]

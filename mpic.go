@@ -118,10 +118,48 @@
 // partial success from a hard failure. The deterministic fault injector
 // behind the chaos suite lives in internal/faults.
 //
-// Every named building block — topology family, workload, noise model —
-// lives in an open registry (RegisterTopology, RegisterWorkload,
-// RegisterNoise), so external packages plug in new ones without touching
-// this module; see examples/customnoise.
+// # Network model
+//
+// By default the network is the paper's synchronous model: every symbol
+// sent in round r arrives exactly at the round boundary. Setting
+// Scenario.Delay switches the run to a virtual-time discrete-event
+// network: each symbol is assigned a flight delay by a DelayModel
+// (unit/lockstep, fixed+jitter, lognormal, per-link latency bands — a
+// fourth open registry, RegisterDelay), and a deadline synchronizer
+// preserves the round abstraction. Round r spans virtual time [r, r+1);
+// a symbol that misses its deadline is recorded as a deletion at the
+// deadline and, when it finally lands in a silent slot, as an
+// out-of-band insertion — timing faults are mapped onto the paper's
+// insdel noise model, so the coding schemes absorb stragglers and
+// latency spikes exactly as they absorb adversarial noise, with no
+// change to the protocol layer.
+//
+// Scenario.Faults layers a deterministic network-fault schedule on top:
+// link outage windows, transient delay spikes, straggler parties, and
+// crash-stop/restart parties whose links fall silent for a window and
+// then resume (the scheme repairs the gap like any other insdel burst).
+// Every decision is a pure site-hashed function of the schedule's seed,
+// so a faulty run replays bit-identically from its seeds at any worker
+// count — the grid determinism guarantee extends unchanged to timed
+// runs. Timed results carry virtual-time metrics in Result.Metrics.Net:
+// makespan, late/dropped symbol counts, erasures, and per-link delay
+// histograms with p50/p99 quantiles. Lockstep runs (Delay nil or
+// LockstepDelay with no Faults) stay on the classic synchronous engine,
+// bit-identical to earlier releases, with Metrics.Net nil.
+//
+//	res, _ := runner.Run(ctx, mpic.Scenario{
+//	    Topology: mpic.Clique(8),
+//	    Workload: mpic.RandomTraffic(120),
+//	    Noise:    mpic.RandomNoise(0.002),
+//	    Delay:    mpic.LognormalDelay(0.3),
+//	    Faults:   &mpic.NetFaults{OutageRate: 0.01, Stragglers: 1, Crashes: 1},
+//	})
+//	fmt.Println(res.Metrics.Net.Makespan, res.Metrics.Net.MaxP99())
+//
+// Every named building block — topology family, workload, noise model,
+// delay model — lives in an open registry (RegisterTopology,
+// RegisterWorkload, RegisterNoise, RegisterDelay), so external packages
+// plug in new ones without touching this module; see examples/customnoise.
 //
 // # Legacy string configuration
 //

@@ -1,0 +1,149 @@
+package mpic
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpic/internal/core"
+	"mpic/internal/trace"
+)
+
+// fakeClock is an injectable clock for the throttled sink: every read
+// advances it by a fixed step, so ETA math is exact.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// TestThrottledProgressLog pins the ETA sink's contract: iteration lines
+// are subsampled at the configured stride (or ~5% of the budget when
+// auto), annotated with percent-complete and an ETA projected from the
+// trial's iteration budget, and every non-iteration event prints like
+// NewProgressLog.
+func TestThrottledProgressLog(t *testing.T) {
+	var buf strings.Builder
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Second}
+	sink := newThrottledProgressLog(&buf, 10, clock.now)
+
+	key := GridKey{N: 4, Scheme: core.AlgA, Rate: 0.002}
+	base := GridProgress{Cell: 0, Cells: 1, Key: key, Trial: 0, Trials: 1}
+
+	start := base
+	start.Event = GridTrialStart
+	start.Info = &RunInfo{Iterations: 40}
+	sink(start)
+
+	m := &trace.Metrics{}
+	for i := 0; i < 40; i++ {
+		p := base
+		p.Event = GridIteration
+		p.Iteration = i
+		p.Stats = &IterationStats{Iteration: i, Metrics: m}
+		sink(p)
+	}
+	done := base
+	done.Event = GridTrialDone
+	done.Result = &Result{
+		Success: true, Blowup: 2.5, Iterations: 40,
+		Metrics: &trace.Metrics{Net: &trace.NetStats{Makespan: 123.5, LateSymbols: 7}},
+	}
+	sink(done)
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 1 start + 4 sampled iterations (10, 20, 30, 40) + 1 done.
+	if len(lines) != 6 {
+		t.Fatalf("throttled sink wrote %d lines, want 6:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "started (budget 40 iterations), sampling every 10") {
+		t.Errorf("start line = %q", lines[0])
+	}
+	// Iteration 9 is the 10th executed: 25% done. The clock ticks once at
+	// trial start and once per sampled line, so elapsed at the first
+	// sample is 1s for 10 iterations → ETA 3s for the remaining 30.
+	if !strings.Contains(lines[1], "iter 9") || !strings.Contains(lines[1], "25%") || !strings.Contains(lines[1], "eta=3s") {
+		t.Errorf("first sampled line = %q, want iter 9 at 25%% with eta=3s", lines[1])
+	}
+	if !strings.Contains(lines[4], "iter 39") || !strings.Contains(lines[4], "100%") || strings.Contains(lines[4], "eta=") {
+		t.Errorf("final sampled line = %q, want iter 39 at 100%% with no ETA", lines[4])
+	}
+	// The trial-done line carries the virtual-time summary.
+	if !strings.Contains(lines[5], "SUCCESS") || !strings.Contains(lines[5], "makespan=123.5 late=7") {
+		t.Errorf("done line = %q, want makespan/late suffix", lines[5])
+	}
+}
+
+// TestThrottledProgressLogAuto: with every ≤ 0 the stride is ~5% of the
+// budget, and a tiny budget still prints at least every iteration.
+func TestThrottledProgressLogAuto(t *testing.T) {
+	var buf strings.Builder
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	sink := newThrottledProgressLog(&buf, 0, clock.now)
+
+	base := GridProgress{Cells: 1, Trials: 1, Key: GridKey{N: 4, Scheme: core.AlgA}}
+	start := base
+	start.Event = GridTrialStart
+	start.Info = &RunInfo{Iterations: 200}
+	sink(start)
+	m := &trace.Metrics{}
+	for i := 0; i < 200; i++ {
+		p := base
+		p.Event = GridIteration
+		p.Iteration = i
+		p.Stats = &IterationStats{Metrics: m}
+		sink(p)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 1 start + 200/10 sampled.
+	if len(lines) != 21 {
+		t.Fatalf("auto stride wrote %d lines, want 21", len(lines))
+	}
+
+	// Budget below 20: stride clamps to 1, every iteration prints.
+	buf.Reset()
+	start.Info = &RunInfo{Iterations: 3}
+	sink(start)
+	for i := 0; i < 3; i++ {
+		p := base
+		p.Event = GridIteration
+		p.Iteration = i
+		p.Stats = &IterationStats{Metrics: m}
+		sink(p)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tiny budget wrote %d lines, want 4", len(lines))
+	}
+}
+
+// TestProgressLogNetSuffix: the plain sink's trial-done line gains the
+// makespan/late suffix only when the result carries NetStats, and the
+// cell prefix shows the delay axis when set.
+func TestProgressLogNetSuffix(t *testing.T) {
+	var buf strings.Builder
+	sink := NewProgressLog(&buf)
+	p := GridProgress{
+		Event: GridTrialDone, Cells: 1, Trials: 1,
+		Key:    GridKey{N: 4, Scheme: core.AlgA, Rate: 0.001, Delay: "lognormal"},
+		Result: &Result{Success: true, Metrics: &trace.Metrics{}},
+	}
+	sink(p)
+	if strings.Contains(buf.String(), "makespan=") {
+		t.Errorf("lockstep done line grew a makespan: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "delay=lognormal") {
+		t.Errorf("cell prefix missing delay axis: %q", buf.String())
+	}
+	buf.Reset()
+	p.Result.Metrics.Net = &trace.NetStats{Makespan: 9, LateSymbols: 1}
+	sink(p)
+	if !strings.Contains(buf.String(), "makespan=9.0 late=1") {
+		t.Errorf("timed done line missing net suffix: %q", buf.String())
+	}
+}

@@ -9,12 +9,13 @@ import (
 	"mpic/internal/protocol"
 )
 
-// The three open registries behind the scenario specs. The built-in
-// topology families, workloads, and noise models are ordinary seed
-// entries in these tables; external packages extend the library by
-// registering their own under new names, after which the names work
-// everywhere a built-in name does — typed specs (Topology, Workload,
-// Noise), the legacy string Config, and the command-line tools.
+// The four open registries behind the scenario specs. The built-in
+// topology families, workloads, noise models, and delay models are
+// ordinary seed entries in these tables; external packages extend the
+// library by registering their own under new names, after which the
+// names work everywhere a built-in name does — typed specs (Topology,
+// Workload, Noise, Delay), the legacy string Config, and the
+// command-line tools.
 //
 // Registration is typically done from an init function:
 //
@@ -49,6 +50,12 @@ type WorkloadDef struct {
 // (the paper's µ, as a fraction of total communication). A family may
 // return nil for "no noise".
 type NoiseFamily func(rate float64) NoiseSpec
+
+// DelayFamily instantiates a registered delay model at its family
+// parameter (jitter width, lognormal sigma, slow-band fraction — the
+// knob each family exposes on a sweep axis; 0 means the family default).
+// A family may return nil for "lockstep network".
+type DelayFamily func(param float64) DelaySpec
 
 type registry[T any] struct {
 	mu   sync.RWMutex
@@ -98,6 +105,7 @@ var (
 	topologies = &registry[TopologyBuilder]{kind: "topology"}
 	workloads  = &registry[WorkloadDef]{kind: "workload"}
 	noises     = &registry[NoiseFamily]{kind: "noise"}
+	delays     = &registry[DelayFamily]{kind: "delay"}
 )
 
 // RegisterTopology adds a topology family under name. It fails on an
@@ -127,6 +135,16 @@ func RegisterNoise(name string, family NoiseFamily) error {
 	return noises.register(name, family)
 }
 
+// RegisterDelay adds a delay-model family under name — the fourth open
+// registry, next to topology/workload/noise. It fails on an empty or
+// already-registered name.
+func RegisterDelay(name string, family DelayFamily) error {
+	if family == nil {
+		return fmt.Errorf("mpic: delay %q has no family", name)
+	}
+	return delays.register(name, family)
+}
+
 // TopologyNames lists the registered topology families, sorted.
 func TopologyNames() []string { return topologies.names() }
 
@@ -135,6 +153,9 @@ func WorkloadNames() []string { return workloads.names() }
 
 // NoiseNames lists the registered noise models, sorted.
 func NoiseNames() []string { return noises.names() }
+
+// DelayNames lists the registered delay models, sorted.
+func DelayNames() []string { return delays.names() }
 
 // mustRegister panics on a seed-entry registration failure — a
 // programming error in this package.
@@ -219,6 +240,18 @@ func init() {
 	mustRegister(RegisterNoise("random", func(rate float64) NoiseSpec { return RandomNoise(rate) }))
 	mustRegister(RegisterNoise("burst", func(rate float64) NoiseSpec { return BurstNoise(rate) }))
 	mustRegister(RegisterNoise("adaptive", func(rate float64) NoiseSpec { return Adaptive(rate) }))
+}
+
+// The built-in delay models. "unit" and "lockstep" are the same
+// synchronous spec under both of its common names; the parameter is each
+// family's single shape knob (0 = default).
+func init() {
+	lockstep := func(float64) DelaySpec { return LockstepDelay() }
+	mustRegister(RegisterDelay("unit", lockstep))
+	mustRegister(RegisterDelay("lockstep", lockstep))
+	mustRegister(RegisterDelay("jitter", func(p float64) DelaySpec { return JitterDelay(p) }))
+	mustRegister(RegisterDelay("lognormal", func(p float64) DelaySpec { return LognormalDelay(p) }))
+	mustRegister(RegisterDelay("bands", func(p float64) DelaySpec { return BandedDelay(p) }))
 }
 
 // NewTopology builds one of the registered topology families — the

@@ -52,10 +52,10 @@ func RunScenario(ctx context.Context, sc Scenario) (*Result, error) {
 }
 
 // Sweep describes a cartesian grid of scenarios: the base scenario is
-// re-run at every combination of the N, Schemes, and Rates axes (an
-// empty axis keeps the base value), with Trials seeds per cell. A Sweep
-// is a declarative front end to the grid engine — Grid expands it into
-// cells, and Runner.Sweep executes it through Runner.RunGrid.
+// re-run at every combination of the N, Schemes, Rates, and Delays axes
+// (an empty axis keeps the base value), with Trials seeds per cell. A
+// Sweep is a declarative front end to the grid engine — Grid expands it
+// into cells, and Runner.Sweep executes it through Runner.RunGrid.
 type Sweep struct {
 	// Base is the scenario template every cell starts from.
 	Base Scenario
@@ -67,6 +67,11 @@ type Sweep struct {
 	// Rates substitutes these noise rates into Base.Noise (which must be
 	// non-nil when the axis is used).
 	Rates []float64
+	// Delays substitutes these flight-delay models into Base.Delay — the
+	// coding-overhead-vs-latency-distribution axis. A nil entry means
+	// the lockstep network, so {nil, JitterDelay(0.5)} sweeps
+	// synchronous vs jittered on otherwise identical cells.
+	Delays []DelaySpec
 	// Trials is the number of seeds per cell (default 1); trial t runs at
 	// Base.Seed + t·SeedStep.
 	Trials int
@@ -81,9 +86,9 @@ type Sweep struct {
 }
 
 // Grid expands the sweep's axes into engine cells, in the nested
-// N → Schemes → Rates order Runner.Sweep has always reported, validating
-// the axes up front (an unresizable topology or an un-ratable noise spec
-// is rejected before anything runs).
+// N → Schemes → Rates → Delays order Runner.Sweep has always reported,
+// validating the axes up front (an unresizable topology or an un-ratable
+// noise spec is rejected before anything runs).
 func (sw Sweep) Grid() (Grid, error) {
 	ns := sw.N
 	if len(ns) == 0 {
@@ -101,7 +106,12 @@ func (sw Sweep) Grid() (Grid, error) {
 	if useRates && sw.Base.Noise == nil {
 		return Grid{}, fmt.Errorf("mpic: Sweep.Rates needs Base.Noise to vary")
 	}
-	cells := make([]GridCell, 0, len(ns)*len(schemes)*len(rates))
+	useDelays := len(sw.Delays) > 0
+	delays := sw.Delays
+	if !useDelays {
+		delays = []DelaySpec{nil} // sentinel: keep the base delay
+	}
+	cells := make([]GridCell, 0, len(ns)*len(schemes)*len(rates)*len(delays))
 	for _, n := range ns {
 		topo := sw.Base.Topology
 		if n > 0 {
@@ -116,41 +126,57 @@ func (sw Sweep) Grid() (Grid, error) {
 		}
 		for _, scheme := range schemes {
 			for _, rate := range rates {
-				sc := sw.Base
-				sc.Topology = topo
-				if scheme != 0 {
-					sc.Scheme = scheme
-				}
-				if useRates {
-					sc.Noise = sw.Base.Noise.WithRate(rate)
-					if sc.Noise == nil {
-						return Grid{}, fmt.Errorf("mpic: noise %q cannot vary its rate (WithRate returned nil); register a rate-parameterized NoiseFamily to sweep it",
-							sw.Base.Noise.NoiseName())
+				for _, delay := range delays {
+					sc := sw.Base
+					sc.Topology = topo
+					if scheme != 0 {
+						sc.Scheme = scheme
 					}
+					if useRates {
+						sc.Noise = sw.Base.Noise.WithRate(rate)
+						if sc.Noise == nil {
+							return Grid{}, fmt.Errorf("mpic: noise %q cannot vary its rate (WithRate returned nil); register a rate-parameterized NoiseFamily to sweep it",
+								sw.Base.Noise.NoiseName())
+						}
+					}
+					if useDelays {
+						sc.Delay = delay
+					}
+					key := GridKey{N: sw.Base.partyCount(topo), Scheme: sc.Scheme, Rate: rate, Delay: delayKeyName(sc.Delay)}
+					if key.Scheme == 0 {
+						key.Scheme = AlgorithmA
+					}
+					cells = append(cells, GridCell{
+						Key:      key,
+						Scenario: sc,
+						Trials:   sw.Trials,
+						SeedStep: sw.SeedStep,
+					})
 				}
-				key := GridKey{N: sw.Base.partyCount(topo), Scheme: sc.Scheme, Rate: rate}
-				if key.Scheme == 0 {
-					key.Scheme = AlgorithmA
-				}
-				cells = append(cells, GridCell{
-					Key:      key,
-					Scenario: sc,
-					Trials:   sw.Trials,
-					SeedStep: sw.SeedStep,
-				})
 			}
 		}
 	}
 	return Grid{Cells: cells, Workers: sw.Workers, Retry: sw.Retry}, nil
 }
 
+// delayKeyName renders a delay spec's grid-key name; the empty string
+// means the lockstep network.
+func delayKeyName(d DelaySpec) string {
+	if d == nil {
+		return ""
+	}
+	return d.DelayName()
+}
+
 // SweepCell aggregates the runs of one grid point.
 type SweepCell struct {
-	// N, Scheme and Rate identify the cell. Rate is meaningful only when
-	// the sweep's Rates axis was used.
+	// N, Scheme, Rate and Delay identify the cell. Rate is meaningful
+	// only when the sweep's Rates axis was used; Delay is the delay
+	// model's registered name ("" = lockstep).
 	N      int
 	Scheme Scheme
 	Rate   float64
+	Delay  string `json:",omitempty"`
 	// Trials and Successes count runs and runs whose every party decoded
 	// correctly.
 	Trials    int
@@ -173,7 +199,7 @@ type SweepCell struct {
 
 // Merge accumulates another cell's trials into c — the streaming
 // consumers' aggregation primitive (e.g. folding per-seed grid cells
-// into one total). The key fields (N, Scheme, Rate) are left untouched;
+// into one total). The key fields (N, Scheme, Rate, Delay) are left untouched;
 // merging cells with different keys is the caller's decision.
 func (c *SweepCell) Merge(other SweepCell) {
 	c.Trials += other.Trials

@@ -368,6 +368,18 @@ type Scenario struct {
 	Scheme Scheme
 	// Noise is the channel noise model; nil means noiseless.
 	Noise NoiseSpec
+	// Delay is the network's flight-delay model; nil means the paper's
+	// lockstep network (every symbol takes exactly one round). A
+	// non-lockstep model runs the virtual-time engine: late symbols
+	// become insdel noise via the deadline synchronizer, and
+	// Result.Metrics.Net reports the timing story.
+	Delay DelaySpec
+	// Faults is the network-fault schedule (link outages, delay spikes,
+	// stragglers, crash-restart parties); nil means a fault-free
+	// network. A schedule forces the virtual-time engine even under a
+	// lockstep Delay. Faults.Seed 0 derives a default from Seed, so a
+	// zero-seed schedule still replays with the scenario.
+	Faults *NetFaults
 	// Seed makes the run reproducible (inputs, noise, and randomness).
 	Seed int64
 	// IterFactor bounds iterations at IterFactor·|Π| (default 100, the
@@ -473,7 +485,35 @@ func (sc Scenario) options() (core.Options, error) {
 	if err := sc.wireNoise(g, &opts); err != nil {
 		return core.Options{}, err
 	}
+	if err := sc.wireDelay(g, &opts); err != nil {
+		return core.Options{}, err
+	}
 	return opts, nil
+}
+
+// wireDelay materializes the scenario's delay spec and fault schedule
+// into the options. The delay seed and the default fault seed are
+// distinct salted streams off the scenario seed, disjoint from the noise
+// stream, so adding a delay model never perturbs the channel noise.
+func (sc Scenario) wireDelay(g *Graph, opts *core.Options) error {
+	if sc.Delay != nil {
+		model, err := sc.Delay.Wire(DelayEnv{Graph: g, Seed: sc.Seed*noiseRngSalt + 2})
+		if err != nil {
+			return err
+		}
+		if model == nil {
+			return fmt.Errorf("mpic: delay %q wired a nil model", sc.Delay.DelayName())
+		}
+		opts.Delay = model
+	}
+	if sc.Faults != nil {
+		nf := *sc.Faults
+		if nf.Seed == 0 {
+			nf.Seed = sc.Seed*noiseRngSalt + 3
+		}
+		opts.NetFaults = &nf
+	}
+	return nil
 }
 
 // wireNoise materializes the scenario's noise spec into the options.
