@@ -18,7 +18,7 @@ SWEEP_PARALLEL ?= 0
 # persisted, and re-running the same grid resumes instead of restarting.
 SWEEP_CHECKPOINT ?= SWEEP.ckpt.json
 
-.PHONY: verify tier1 race examples bench compare sweep cover chaos lint
+.PHONY: verify tier1 race examples bench compare sweep cover chaos lint serve-e2e
 
 verify: tier1 lint race examples
 
@@ -63,7 +63,13 @@ bench:
 # Regenerate the experiment artefact and gate it against the previous
 # PR's (fails on >10% wall-clock regression).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR7.json -compare BENCH_PR6.json
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR8.json -compare BENCH_PR7.json
+
+# The grid service end to end: submit over HTTP, shard across workers,
+# stream progress over SSE, survive a restart mid-grid, and release
+# every lease on graceful shutdown — under the race detector.
+serve-e2e:
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestService' -v ./internal/service/
 
 # The chaos soaks under the race detector: the registry-cartesian grid as
 # a durable parallel session with deterministic injected store faults,

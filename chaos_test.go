@@ -3,9 +3,12 @@ package mpic
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -266,4 +269,199 @@ func TestChaosNetworkSoak(t *testing.T) {
 		t.Errorf("store fault schedule injected nothing: %+v", st)
 	}
 	t.Logf("network chaos soak: %d cells, %d restored, %d late symbols, %d erasures", len(cells), restored, late, erasures)
+}
+
+// shardSoakCells is the deterministic work-list the sharded service
+// soak shares between the parent test and its victim subprocess: DES
+// delay models with a fault schedule, two seeds per shape, expensive
+// enough that a SIGKILL lands mid-grid.
+func shardSoakCells() []GridCell {
+	schedule := &NetFaults{OutageRate: 0.01, SpikeRate: 0.05, Stragglers: 1}
+	var cells []GridCell
+	for _, n := range []int{4, 5} {
+		for _, d := range []DelaySpec{JitterDelay(0.8), LognormalDelay(0.3), BandedDelay(0.25)} {
+			for _, seed := range []int64{3, 9} {
+				cells = append(cells, GridCell{
+					Scenario: Scenario{
+						Topology: Clique(n), Workload: RandomTraffic(40),
+						Noise: RandomNoise(0.002), Seed: seed, IterFactor: 12,
+						Delay: d, Faults: schedule,
+					},
+					Trials: 2, SeedStep: 100,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// shardSoakSpec names the shared session; an explicit spec keeps the
+// parent and the subprocess honest about running the same grid.
+const shardSoakSpec = "chaos-shard-soak"
+
+// iterationSleeper slows a run down without touching its results —
+// observers only watch — so the victim subprocess is guaranteed to be
+// mid-cell when the parent kills it.
+type iterationSleeper struct{ d time.Duration }
+
+func (s iterationSleeper) IterationDone(IterationStats) { time.Sleep(s.d) }
+
+// TestChaosShardHelper is not a test of its own: it is the victim
+// worker process of TestChaosShardedServiceSoak, re-executed from the
+// test binary with the session directory in the environment. It leases
+// cells from the shared session — deliberately slowed — until the
+// parent SIGKILLs it, leaving orphaned leases and a half-finished grid
+// behind. Without the environment variable it skips immediately.
+func TestChaosShardHelper(t *testing.T) {
+	dir := os.Getenv("MPIC_CHAOS_SHARD_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestChaosShardedServiceSoak")
+	}
+	cells := shardSoakCells()
+	for i := range cells {
+		sc := cells[i].Scenario
+		sc.Observers = append(append([]Observer(nil), sc.Observers...), iterationSleeper{2 * time.Millisecond})
+		cells[i].Scenario = sc
+	}
+	runner := NewRunner()
+	defer runner.Close()
+	store := NewDirLeaseStore(dir)
+	err := runner.RunGridSharded(context.Background(), Grid{Cells: cells, Spec: shardSoakSpec, KeepResults: true}, store,
+		ShardOptions{Worker: "victim", LeaseTTL: 2 * time.Second, Poll: 50 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosShardedServiceSoak is the sharded-service capstone pin
+// (`make chaos` runs it under -race): a real second OS process leases
+// cells from a shared session directory and is SIGKILLed mid-cell — no
+// deferred release, no flush, exactly what a crashed service worker
+// leaves behind — after which two in-process workers, themselves
+// afflicted by a panic fault plan, must wait out the orphaned leases,
+// reclaim the dead worker's cells, and finish the grid. The merged
+// session must be bit-identical to a clean sequential run, per-trial
+// metrics included.
+func TestChaosShardedServiceSoak(t *testing.T) {
+	cells := shardSoakCells()
+	runner := NewRunner()
+	defer runner.Close()
+
+	// Clean sequential baseline.
+	want, err := runner.CollectGrid(context.Background(), Grid{Cells: cells, Workers: 1, KeepResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store := NewDirLeaseStore(dir)
+
+	// The victim: this test binary re-executed as a lone worker on the
+	// shared session, slowed so the kill lands mid-cell.
+	victim := exec.Command(os.Args[0], "-test.run=^TestChaosShardHelper$")
+	victim.Env = append(os.Environ(), "MPIC_CHAOS_SHARD_DIR="+dir)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Process.Kill()
+
+	// Kill as soon as the first completed cell lands — abrupt, with
+	// leases still held.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		saved, err := store.Load(shardSoakSpec)
+		if err == nil && len(saved) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim worker saved nothing within 60s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+
+	saved, err := store.Load(shardSoakSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) == len(cells) {
+		t.Fatal("victim finished the whole grid before the kill; the soak proved nothing")
+	}
+	orphaned, err := store.Leases(shardSoakSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("killed victim after %d/%d cells, %d orphaned lease(s)", len(saved), len(cells), len(orphaned))
+
+	// The survivors: two in-process workers under a panic fault plan —
+	// the PR 6 retry machinery must keep absorbing failures on the
+	// sharded path too. They must wait out the victim's leases (TTL 2s)
+	// before reclaiming its cells.
+	plan := faults.CellPlan{Seed: 99, PanicRate: 0.35, MaxPanics: 2}
+	workerGrid := func() Grid {
+		cc := make([]GridCell, len(cells))
+		for i, c := range cells {
+			sc := c.Scenario
+			sc.Observers = append(append([]Observer(nil), sc.Observers...), plan.Observer(i))
+			c.Scenario = sc
+			cc[i] = c
+		}
+		return Grid{
+			Cells: cc, Spec: shardSoakSpec, KeepResults: true,
+			Retry: RetryPolicy{MaxAttempts: 3, JitterSeed: 7, Sleep: func(time.Duration) {}},
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := range errs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = runner.RunGridSharded(context.Background(), workerGrid(), store,
+				ShardOptions{Worker: fmt.Sprintf("survivor-%d", w), LeaseTTL: 2 * time.Second, Poll: 50 * time.Millisecond}, nil)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("survivor %d: %v", w, err)
+		}
+	}
+
+	// Merge check: the ordinary engine restores the whole session, and
+	// every cell — the victim's, the reclaimed, the survivors' — is
+	// bit-identical to the clean sequential run.
+	got, err := runner.CollectGrid(context.Background(), Grid{
+		Cells: cells, Spec: shardSoakSpec, Store: store, KeepResults: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !got[i].Restored {
+			t.Errorf("cell %d missing from the merged session", i)
+		}
+		if !reflect.DeepEqual(got[i].Cell, want[i].Cell) {
+			t.Errorf("cell %d diverged from clean sequential run:\n got %+v\nwant %+v", i, got[i].Cell, want[i].Cell)
+		}
+		if len(got[i].Results) != len(want[i].Results) {
+			t.Fatalf("cell %d kept %d trials, want %d", i, len(got[i].Results), len(want[i].Results))
+		}
+		for j := range got[i].Results {
+			if !reflect.DeepEqual(got[i].Results[j].Metrics, want[i].Results[j].Metrics) {
+				t.Errorf("cell %d trial %d metrics diverged", i, j)
+			}
+		}
+	}
+	leases, err := store.Leases(shardSoakSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 0 {
+		t.Errorf("finished session still holds leases: %+v", leases)
+	}
+	t.Logf("sharded soak: %d cells, victim completed %d before SIGKILL, survivors finished the rest", len(cells), len(saved))
 }

@@ -68,11 +68,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"mpic"
 	"mpic/internal/experiments"
+	"mpic/internal/gridspec"
 )
 
 // Exit codes: 0 — clean success; 3 — a -sweep grid in quarantine mode
@@ -162,12 +162,14 @@ func run(args []string) error {
 			return flagErr
 		}
 		return runSweep(os.Stdout, sweepFlags{
-			topology: *swTopology, workload: *swWorkload, rounds: *swRounds,
-			noise: *swNoise, n: *swN, schemes: *swSchemes, rates: *swRates,
-			iterFactor: *swIters, trials: *trials, seed: *seed, ratesSet: ratesSet,
-			parallel: *swParallel, checkpoint: *swCkpt,
+			Grid: gridspec.Grid{
+				Topology: *swTopology, Workload: *swWorkload, Rounds: *swRounds,
+				Noise: *swNoise, N: *swN, Schemes: *swSchemes, Rates: *swRates,
+				IterFactor: *swIters, Trials: *trials, Seed: *seed,
+				Delay: *swDelay, NetFaults: *swNetFlt,
+			},
+			ratesSet: ratesSet, parallel: *swParallel, checkpoint: *swCkpt,
 			retries: *retries, failFast: *failFast,
-			delays: *swDelay, netfaults: *swNetFlt,
 		})
 	}
 	if *ckptDir != "" && (*jsonPath != "" || *compare != "") {
@@ -279,13 +281,12 @@ func compareAgainst(w io.Writer, path string, tables []*experiments.Table) error
 	return nil
 }
 
-// sweepFlags carries the -sweep-* flag values.
+// sweepFlags carries the -sweep-* flag values: the grid-defining ones
+// as a shared gridspec.Grid (the same struct mpicserve accepts as a
+// JSON body), plus the execution-only flags that shape how — not what —
+// the grid runs.
 type sweepFlags struct {
-	topology, workload, noise string
-	n, schemes, rates         string
-	rounds, iterFactor        int
-	trials                    int
-	seed                      int64
+	gridspec.Grid
 	// ratesSet records whether -sweep-rates was given explicitly, so a
 	// rate axis that would silently vanish (noise "none") errors instead.
 	ratesSet bool
@@ -297,22 +298,6 @@ type sweepFlags struct {
 	// quarantines cells that still fail instead of aborting the grid.
 	retries  int
 	failFast bool
-	// delays is the comma-separated -delay axis (empty = lockstep only);
-	// netfaults is the -netfaults schedule applied to every cell.
-	delays, netfaults string
-}
-
-// spec fingerprints the grid-defining flags; a checkpoint written under
-// a different spec must not be merged into this grid. The network timing
-// flags join the spec only when set, so checkpoints from before those
-// flags existed keep their fingerprints.
-func (f sweepFlags) spec() string {
-	s := fmt.Sprintf("topology=%s workload=%s rounds=%d noise=%s n=%s schemes=%s rates=%s trials=%d seed=%d iterfactor=%d",
-		f.topology, f.workload, f.rounds, f.noise, f.n, f.schemes, f.rates, f.trials, f.seed, f.iterFactor)
-	if f.delays != "" || f.netfaults != "" {
-		s += fmt.Sprintf(" delay=%s netfaults=%s", f.delays, f.netfaults)
-	}
-	return s
 }
 
 // runSweep executes the cartesian grid through the streaming parallel
@@ -322,81 +307,32 @@ func (f sweepFlags) spec() string {
 // is persisted by the engine, and a re-run restores the completed cells
 // — streamed first, in definition order — before executing the rest.
 func runSweep(w io.Writer, f sweepFlags) error {
-	ns, err := parseInts(f.n)
-	if err != nil {
-		return fmt.Errorf("-sweep-n: %w", err)
-	}
-	rates, err := parseFloats(f.rates)
-	if err != nil {
-		return fmt.Errorf("-sweep-rates: %w", err)
-	}
-	var schemes []mpic.Scheme
-	for _, s := range strings.Split(f.schemes, ",") {
-		sch, err := mpic.ParseScheme(strings.TrimSpace(s))
-		if err != nil {
-			return fmt.Errorf("-sweep-schemes: %w", err)
-		}
-		schemes = append(schemes, sch)
-	}
-	// Parse the names exactly like mpicsim does — through the legacy
-	// Config shim — so an empty -sweep-topology resolves to the
-	// workload's own default (fixed-topology workloads included).
-	base, err := mpic.Config{
-		Topology: f.topology,
-		N:        ns[0],
-		Workload: f.workload, WorkloadRounds: f.rounds,
-		Noise:      f.noise,
-		Seed:       f.seed,
-		IterFactor: f.iterFactor,
-	}.Scenario()
+	// The grid-defining flags resolve through the shared spec parser
+	// (internal/gridspec) — the same code path mpicserve submissions
+	// take, including the checkpoint fingerprint.
+	sw, err := f.Grid.Sweep()
 	if err != nil {
 		return err
 	}
-	if base.Noise == nil && f.ratesSet {
-		return fmt.Errorf("-sweep-rates has no effect with -sweep-noise %q; pick a noise model to sweep rates over", f.noise)
+	if sw.Base.Noise == nil && f.ratesSet {
+		return fmt.Errorf("-sweep-rates has no effect with -sweep-noise %q; pick a noise model to sweep rates over", f.Noise)
 	}
-	if base.Faults, err = mpic.ParseNetFaults(f.netfaults); err != nil {
-		return err
-	}
-	var delays []mpic.DelaySpec
-	if f.delays != "" {
-		for _, part := range strings.Split(f.delays, ",") {
-			d, err := mpic.ParseDelay(strings.TrimSpace(part))
-			if err != nil {
-				return fmt.Errorf("-delay: %w", err)
-			}
-			if d == nil {
-				d = mpic.LockstepDelay()
-			}
-			delays = append(delays, d)
-		}
-	}
-	sw := mpic.Sweep{
-		Base:     base,
-		N:        ns,
-		Schemes:  schemes,
-		Delays:   delays,
-		Trials:   f.trials,
-		SeedStep: 7907,
-		Workers:  f.parallel,
-	}
-	if base.Noise != nil {
-		sw.Rates = rates
-	}
+	sw.Workers = f.parallel
 	grid, err := sw.Grid()
 	if err != nil {
 		return err
 	}
+	delays := sw.Delays
 	if f.checkpoint != "" {
 		// The library owns the resume flow; the flag fingerprint is the
 		// session's spec, so a checkpoint written by different grid flags
 		// is rejected instead of silently merged. Retry/quarantine flags
 		// stay out of the spec: they change fault handling, never results.
-		grid.Spec = f.spec()
+		grid.Spec = f.Grid.Spec()
 		grid.Store = mpic.NewFileGridStore(f.checkpoint)
 	}
 	if f.retries > 0 {
-		grid.Retry = mpic.RetryPolicy{MaxAttempts: f.retries + 1, JitterSeed: f.seed}
+		grid.Retry = mpic.RetryPolicy{MaxAttempts: f.retries + 1, JitterSeed: f.Seed}
 	}
 	if !f.failFast {
 		grid.OnCellError = mpic.QuarantineCells
@@ -406,7 +342,7 @@ func runSweep(w io.Writer, f sweepFlags) error {
 	// moment it completes (restored cells first, in definition order).
 	// Row order under -parallel is completion order; the n/scheme/rate
 	// columns are the row identity, exactly like the checkpoint keys.
-	title := fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.workload, base.Topology.Name, f.noise)
+	title := fmt.Sprintf("Runner.Sweep: %s workload over %s, noise %s", f.Workload, sw.Base.Topology.Name, f.Noise)
 	// The delay column appears only when the delay axis is in use, so
 	// lockstep sweeps keep their historical table shape.
 	withDelay := len(delays) > 0
@@ -476,28 +412,4 @@ func sweepRow(c mpic.SweepCell, withDelay bool) string {
 		fmt.Sprint(c.Corruptions),
 	)
 	return "| " + strings.Join(cols, " | ") + " |"
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }

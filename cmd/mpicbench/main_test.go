@@ -11,6 +11,7 @@ import (
 
 	"mpic"
 	"mpic/internal/experiments"
+	"mpic/internal/gridspec"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -199,7 +200,7 @@ func TestRunSweepQuarantineOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := sweepTestFlags("")
-	f.noise = "bench-test-failwire"
+	f.Noise = "bench-test-failwire"
 	f.retries = 1
 	f.failFast = false
 	var out strings.Builder
@@ -226,10 +227,12 @@ func TestRunSweepQuarantineOutput(t *testing.T) {
 // calls (which let tests capture the streamed output).
 func sweepTestFlags(checkpoint string) sweepFlags {
 	return sweepFlags{
-		workload: "random", noise: "random",
-		n: "4", schemes: "A", rates: "0,0.001",
-		iterFactor: 10, trials: 1, seed: 1, ratesSet: true,
-		parallel: 1, checkpoint: checkpoint, failFast: true,
+		Grid: gridspec.Grid{
+			Workload: "random", Noise: "random",
+			N: "4", Schemes: "A", Rates: "0,0.001",
+			IterFactor: 10, Trials: 1, Seed: 1,
+		},
+		ratesSet: true, parallel: 1, checkpoint: checkpoint, failFast: true,
 	}
 }
 
@@ -327,7 +330,7 @@ func TestSweepCheckpointResume(t *testing.T) {
 	// A checkpoint written by different grid flags must be rejected, not
 	// silently merged.
 	other := sweepTestFlags(partial)
-	other.rates = "0,0.002"
+	other.Rates = "0,0.002"
 	if err := runSweep(io.Discard, other); err == nil || !strings.Contains(err.Error(), "different grid") {
 		t.Fatalf("mismatched checkpoint spec accepted: %v", err)
 	}

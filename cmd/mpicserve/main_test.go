@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFlagValidation pins the flag surface: the data directory is
+// mandatory and the numeric knobs reject nonsense before any listener
+// or worker starts.
+func TestRunFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"-data is required": {},
+		"at least 1":        {"-data", t.TempDir(), "-workers", "0"},
+		"non-negative":      {"-data", t.TempDir(), "-retries", "-1"},
+	}
+	for want, args := range cases {
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("run(%v) = %v, want error containing %q", args, err, want)
+		}
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"strings"
 
 	"mpic"
+	"mpic/internal/gridspec"
 	"mpic/internal/trace"
 )
 
@@ -98,32 +99,25 @@ func run(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sch, err := mpic.ParseScheme(*scheme)
-	if err != nil {
-		return err
-	}
-	cfg := mpic.Config{
+	// The flag values resolve through the shared spec parser — the same
+	// struct, field for field, that mpicserve accepts as a JSON body.
+	sc, err := gridspec.Scenario{
 		Topology:        *topology,
 		N:               *n,
 		Workload:        *workload,
-		WorkloadRounds:  *rounds,
-		Scheme:          sch,
+		Rounds:          *rounds,
+		Scheme:          *scheme,
 		Noise:           *noise,
-		NoiseRate:       *rate,
+		Rate:            *rate,
 		Seed:            *seed,
 		IterFactor:      *iters,
 		Faithful:        *faithful,
 		Parallel:        *parallel,
 		IncrementalHash: *increm,
-	}
-	sc, err := cfg.Scenario()
+		Delay:           *delay,
+		NetFaults:       *netflt,
+	}.Build()
 	if err != nil {
-		return err
-	}
-	if sc.Delay, err = mpic.ParseDelay(*delay); err != nil {
-		return err
-	}
-	if sc.Faults, err = mpic.ParseNetFaults(*netflt); err != nil {
 		return err
 	}
 	runner := mpic.NewRunner()

@@ -1,0 +1,30 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package mpic
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockPath takes an exclusive advisory flock(2) lock on path, creating
+// the file if needed, blocking until the lock is granted. The returned
+// function releases it. flock locks are held by the open file
+// description, so they exclude other processes as well as other stores
+// in this one, and the kernel drops them automatically when the holder
+// dies — a crashed worker never leaves a stale lock behind. The lock
+// file itself is never unlinked: removing a locked file would let a
+// later locker create a fresh inode under the same name while the
+// blocked waiter acquires the orphaned one, and two holders would each
+// own "the" lock.
+func flockPath(path string) (func() error, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, &os.PathError{Op: "flock", Path: path, Err: err}
+	}
+	return f.Close, nil // closing the descriptor releases the lock
+}

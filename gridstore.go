@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"mpic/internal/trace"
@@ -215,6 +216,17 @@ func (e *CorruptCheckpointError) Unwrap() error { return e.Reason }
 // damaged session resumes from its last good state instead of aborting
 // or silently restarting. A missing file (with no backup) is an empty
 // session; parent directories are created on first Save.
+//
+// Concurrent access is coordinated, not assumed away: every Load and
+// Save holds an exclusive advisory lock on a <path>.lock sidecar (so two
+// processes sharing a session file serialize instead of interleaving
+// renames), and Save detects a session rewritten behind this store's
+// back — valid state on disk whose checksum is not the one this store
+// last read or wrote — and fails loudly with *SessionConflictError
+// instead of silently clobbering the other writer's cells. Multi-writer
+// sharding goes through a LeaseStore (NewDirLeaseStore), which
+// serializes whole read-modify-write merges; the conflict error is the
+// backstop for uncoordinated writers.
 type FileGridStore struct {
 	path string
 	// OnRecovery, when non-nil, is called when Load falls back to the
@@ -222,6 +234,35 @@ type FileGridStore struct {
 	// the hook CLIs use to tell the user a damaged session was recovered
 	// rather than resumed verbatim.
 	OnRecovery func(reason error)
+
+	// mu serializes Load/Save within the process; the .lock sidecar
+	// serializes them across processes.
+	mu sync.Mutex
+	// lastChecksum is the checksum of the state this store last read or
+	// wrote ("" before the first Load, or after loading an empty
+	// session) — the optimistic-concurrency token Save compares against
+	// the file on disk.
+	lastChecksum string
+}
+
+// SessionConflictError reports a checkpoint rewritten behind a store's
+// back: between this store's last read (or write) and this Save, another
+// writer — a second process sharing the session file, or a second store
+// in this one — replaced the state with valid state of its own.
+// Proceeding would silently discard that writer's cells, so the Save
+// fails loudly instead. Writers that mean to share a session must
+// coordinate through a LeaseStore (NewDirLeaseStore), which serializes
+// read-modify-write merges under a directory lock.
+type SessionConflictError struct {
+	// Path is the contested checkpoint file.
+	Path string
+	// StoredSpec is the spec of the state found on disk.
+	StoredSpec string
+}
+
+// Error implements error.
+func (e *SessionConflictError) Error() string {
+	return fmt.Sprintf("mpic: checkpoint %s was rewritten by another writer (spec %q); concurrent sessions must share a lease store, not a bare file", e.Path, e.StoredSpec)
 }
 
 // NewFileGridStore returns a store persisting to the given file path.
@@ -235,12 +276,12 @@ func (s *FileGridStore) Path() string { return s.path }
 // BackupPath returns the last-good-state backup file Load recovers from.
 func (s *FileGridStore) BackupPath() string { return s.path + ".bak" }
 
-// readState reads and fully validates one checkpoint file: JSON shape,
-// format version, payload checksum, then spec. Corruption (unreadable,
-// unparsable, checksum mismatch) comes back as *CorruptCheckpointError;
-// version and spec rejections are semantic errors that no backup can
-// fix.
-func readState(path, spec string) ([]StoredCell, error) {
+// readRaw reads and structurally validates one checkpoint file — JSON
+// shape, format version, payload checksum — without judging its spec.
+// Corruption (unreadable, unparsable, checksum mismatch) comes back as
+// *CorruptCheckpointError; a version rejection is a semantic error that
+// no backup can fix.
+func readRaw(path string) (*fileGridState, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -264,11 +305,21 @@ func readState(path, spec string) ([]StoredCell, error) {
 		return nil, &CorruptCheckpointError{Path: path,
 			Reason: fmt.Errorf("payload checksum mismatch (stored %.12s…, computed %.12s…)", st.Checksum, sum)}
 	}
+	return &st, nil
+}
+
+// readState reads and fully validates one checkpoint file: everything
+// readRaw checks, then the spec.
+func readState(path, spec string) (*fileGridState, error) {
+	st, err := readRaw(path)
+	if err != nil {
+		return nil, err
+	}
 	if st.Spec != spec {
 		return nil, fmt.Errorf("mpic: checkpoint %s was written by a different grid (%q); delete it or match the grid (%q)",
 			path, st.Spec, spec)
 	}
-	return st.Cells, nil
+	return st, nil
 }
 
 // Load implements GridStore, with last-good-state recovery: when the
@@ -278,16 +329,24 @@ func readState(path, spec string) ([]StoredCell, error) {
 // rejections (wrong format version, wrong spec) are returned as-is: a
 // backup of the same session could not answer differently.
 func (s *FileGridStore) Load(spec string) ([]StoredCell, error) {
-	cells, err := readState(s.path, spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unlock, err := lockSidecar(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	st, err := readState(s.path, spec)
 	if err == nil {
-		return cells, nil
+		s.lastChecksum = st.Checksum
+		return st.Cells, nil
 	}
 	var corrupt *CorruptCheckpointError
 	missing := os.IsNotExist(err)
 	if !missing && !errors.As(err, &corrupt) {
 		return nil, err // version/spec rejection: loud, unrecoverable
 	}
-	bcells, berr := readState(s.BackupPath(), spec)
+	bst, berr := readState(s.BackupPath(), spec)
 	if berr == nil {
 		if missing {
 			err = fmt.Errorf("mpic: checkpoint %s missing (crash between Save renames?)", s.path)
@@ -295,12 +354,14 @@ func (s *FileGridStore) Load(spec string) ([]StoredCell, error) {
 		if s.OnRecovery != nil {
 			s.OnRecovery(err)
 		}
-		return bcells, nil
+		s.lastChecksum = bst.Checksum
+		return bst.Cells, nil
 	}
 	if missing {
 		// Neither file exists (or the backup is itself unusable for a
 		// session that never had a primary): an empty session.
 		if os.IsNotExist(berr) {
+			s.lastChecksum = ""
 			return nil, nil
 		}
 		return nil, berr
@@ -316,15 +377,23 @@ func (s *FileGridStore) Load(spec string) ([]StoredCell, error) {
 // survive power loss. A crash at any point leaves either the old state,
 // the new state, or a missing primary with a good backup — never a
 // half-written file presented as truth.
+//
+// Before writing, Save re-reads the file under the lock: valid state
+// whose checksum differs from what this store last read or wrote means
+// another writer got there first, and the Save fails with
+// *SessionConflictError rather than clobbering it. (Unreadable or torn
+// state is NOT a conflict — overwriting corruption with good state is
+// exactly the recovery path.)
 func (s *FileGridStore) Save(spec string, cells []StoredCell) error {
 	cellsJSON, err := json.Marshal(cells)
 	if err != nil {
 		return err
 	}
+	checksum := checkpointChecksum(fileGridStoreVersion, spec, cellsJSON)
 	data, err := json.MarshalIndent(fileGridState{
 		Version:  fileGridStoreVersion,
 		Spec:     spec,
-		Checksum: checkpointChecksum(fileGridStoreVersion, spec, cellsJSON),
+		Checksum: checksum,
 		Cells:    cells,
 	}, "", "  ")
 	if err != nil {
@@ -336,13 +405,26 @@ func (s *FileGridStore) Save(spec string, cells []StoredCell) error {
 			return err
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unlock, err := lockSidecar(s.path)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	cur, curErr := readRaw(s.path)
+	if curErr == nil && cur.Checksum != s.lastChecksum {
+		return &SessionConflictError{Path: s.path, StoredSpec: cur.Spec}
+	}
 	tmp := s.path + ".tmp"
 	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
 		return err
 	}
 	// Rotate the previous state to .bak only when it verifies: a torn
 	// primary must not evict the good backup that is the recovery path.
-	if _, err := readState(s.path, spec); err == nil {
+	// (After the conflict check, valid current state is necessarily this
+	// store's own last state.)
+	if curErr == nil && cur.Spec == spec {
 		if err := os.Rename(s.path, s.BackupPath()); err != nil {
 			return err
 		}
@@ -350,7 +432,26 @@ func (s *FileGridStore) Save(spec string, cells []StoredCell) error {
 	if err := os.Rename(tmp, s.path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	s.lastChecksum = checksum
+	return nil
+}
+
+// lockSidecar locks the <path>.lock sidecar guarding a session file. A
+// missing parent directory (a session that has never been saved) yields
+// a no-op unlock: there is nothing on disk to contend for, and Save
+// creates the directory before locking.
+func lockSidecar(path string) (func() error, error) {
+	unlock, err := flockPath(path + ".lock")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return func() error { return nil }, nil
+		}
+		return nil, err
+	}
+	return unlock, nil
 }
 
 // writeFileSync writes data to path and fsyncs it before closing — the
@@ -390,10 +491,11 @@ func syncDir(dir string) error {
 // error (NFS hiccup, antivirus lock, overloaded disk) from aborting a
 // durable session whose whole point is surviving interruptions.
 //
-// Corruption errors (*CorruptCheckpointError) and semantic rejections
-// are NOT retried-around by re-reading: a deterministic failure answers
-// the same every time, so only the first error class — everything else —
-// consumes attempts. The zero value of every knob picks a sane default.
+// Corruption errors (*CorruptCheckpointError), session conflicts
+// (*SessionConflictError), and semantic rejections are NOT retried-
+// around by re-reading: a deterministic failure answers the same every
+// time, so only the first error class — everything else — consumes
+// attempts. The zero value of every knob picks a sane default.
 type RetryingGridStore struct {
 	// Inner is the decorated store.
 	Inner GridStore
@@ -432,7 +534,8 @@ func (r *RetryingGridStore) retry(op func() error) error {
 	for a := 1; ; a++ {
 		err = op()
 		var corrupt *CorruptCheckpointError
-		if err == nil || a >= attempts || errors.As(err, &corrupt) {
+		var conflict *SessionConflictError
+		if err == nil || a >= attempts || errors.As(err, &corrupt) || errors.As(err, &conflict) {
 			return err
 		}
 		d := delay

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -784,5 +785,123 @@ func TestKeepResultsPersistAndRestore(t *testing.T) {
 		if len(noKeep[i].Results) != 0 {
 			t.Errorf("cell %d streamed Results without KeepResults", i)
 		}
+	}
+}
+
+// TestFileGridStoreConflictDetected is the concurrent-access regression
+// pin: two stores sharing one session file must not silently clobber
+// each other. The second writer's Save fails loudly with a typed
+// *SessionConflictError the moment the file no longer holds the state
+// it last read — and the error is deterministic, so RetryingGridStore
+// refuses to burn attempts on it.
+func TestFileGridStoreConflictDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.json")
+	a := mpic.NewFileGridStore(path)
+	b := mpic.NewFileGridStore(path)
+	const spec = "conflict-spec"
+	cell := func(i int) mpic.StoredCell {
+		return mpic.StoredCell{Index: i, Cell: mpic.SweepCell{N: 4, Trials: 1}}
+	}
+
+	if _, err := a.Load(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save(spec, []mpic.StoredCell{cell(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// b reads a's state, then a moves on: b's next write would discard
+	// cell 1.
+	if _, err := b.Load(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save(spec, []mpic.StoredCell{cell(0), cell(1)}); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Save(spec, []mpic.StoredCell{cell(0), cell(2)})
+	var conflict *mpic.SessionConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("second writer's Save returned %v, want *SessionConflictError", err)
+	}
+	if conflict.Path != path || conflict.StoredSpec != spec {
+		t.Errorf("conflict error carries %q/%q, want %q/%q", conflict.Path, conflict.StoredSpec, path, spec)
+	}
+	// The winner's state is untouched by the refused write.
+	cells, err := a.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[1].Index != 1 {
+		t.Fatalf("refused write damaged the session: %+v", cells)
+	}
+	// b recovers by re-reading — Load refreshes its view of the state —
+	// after which its merge-and-save goes through.
+	merged, err := b.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(spec, append(merged, cell(2))); err != nil {
+		t.Fatalf("save after re-read: %v", err)
+	}
+
+	// A conflict is deterministic: the retrying decorator must return it
+	// on the first attempt instead of retrying into the same answer.
+	stale := mpic.NewFileGridStore(path)
+	if _, err := stale.Load(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(spec, append(merged, cell(2), cell(3))); err != nil {
+		t.Fatal(err)
+	}
+	slept := 0
+	retrying := &mpic.RetryingGridStore{
+		Inner: stale, MaxAttempts: 5,
+		Sleep: func(time.Duration) { slept++ },
+	}
+	if err := retrying.Save(spec, []mpic.StoredCell{cell(9)}); !errors.As(err, &conflict) {
+		t.Fatalf("retrying store returned %v, want *SessionConflictError", err)
+	}
+	if slept != 0 {
+		t.Errorf("retrying store slept %d times over a deterministic conflict", slept)
+	}
+}
+
+// TestFileGridStoreLockSerializesWriters pins the coordination half of
+// concurrent-access safety: many goroutines hammering load-merge-save
+// on separate store handles (the uncoordinated-two-process shape) never
+// corrupt the file — every outcome is either a cleanly merged state or
+// a loud conflict, and the file always parses.
+func TestFileGridStoreLockSerializesWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hammer.json")
+	const spec = "hammer-spec"
+	var wg sync.WaitGroup
+	conflicts := make([]int, 8)
+	for w := 0; w < len(conflicts); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			store := mpic.NewFileGridStore(path)
+			for i := 0; i < 10; i++ {
+				cells, err := store.Load(spec)
+				if err != nil {
+					t.Errorf("worker %d load: %v", w, err)
+					return
+				}
+				err = store.Save(spec, append(cells, mpic.StoredCell{Index: w*100 + i}))
+				var conflict *mpic.SessionConflictError
+				if errors.As(err, &conflict) {
+					conflicts[w]++
+					continue
+				}
+				if err != nil {
+					t.Errorf("worker %d save: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	final := mpic.NewFileGridStore(path)
+	if _, err := final.Load(spec); err != nil {
+		t.Fatalf("file corrupt after concurrent hammering: %v", err)
 	}
 }

@@ -69,7 +69,8 @@ func TestSweepReproducesExperimentTable(t *testing.T) {
 }
 
 // sessionFiles lists the primary session files in a checkpoint dir,
-// skipping the .bak last-good-state copies the store keeps beside them.
+// skipping the .bak last-good-state copies and the .lock concurrency
+// sidecars the store keeps beside them.
 func sessionFiles(t *testing.T, dir string) []string {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
@@ -78,7 +79,7 @@ func sessionFiles(t *testing.T, dir string) []string {
 	}
 	var names []string
 	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".bak") {
+		if !strings.HasSuffix(e.Name(), ".bak") && !strings.HasSuffix(e.Name(), ".lock") {
 			names = append(names, e.Name())
 		}
 	}
@@ -185,7 +186,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "noise-sweep", "rate-size", "cc-noise", "rewind-wave",
 		"potential", "collisions", "ablation", "delta-bias", "seed-attack",
-		"rounds", "fully-utilized", "collision-attack",
+		"rounds", "fully-utilized", "collision-attack", "delay-overhead",
 	}
 	for _, name := range want {
 		if _, ok := Registry[name]; !ok {

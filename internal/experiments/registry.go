@@ -24,6 +24,7 @@ var Registry = map[string]Runner{
 	"rounds":           Rounds,
 	"fully-utilized":   FullyUtilizedCost,
 	"collision-attack": CollisionAttack,
+	"delay-overhead":   DelayOverhead,
 }
 
 // Names returns the registered experiment names, sorted.

@@ -118,6 +118,26 @@
 // partial success from a hard failure. The deterministic fault injector
 // behind the chaos suite lives in internal/faults.
 //
+// # Sharded sessions
+//
+// A LeaseStore extends GridStore with per-cell claim/renew/release
+// leases, and Runner.RunGridSharded is one worker of a sharded session:
+// N workers — goroutines sharing a DirLeaseStore, or separate processes
+// sharing its directory — each claim pending cells, execute them on the
+// same per-cell path as RunGrid, and persist results through the
+// checksummed store. Leases carry a TTL, so a crashed worker's cells
+// re-enter the pool when its leases expire; a lapsed lease at worst
+// duplicates work, never corrupts it, because every cell is a pure
+// function of spec + salt and duplicated results are bit-identical.
+// The merged session equals a sequential RunGrid of the same grid, byte
+// for byte. FileGridStore additionally detects concurrent writers that
+// bypass the lease protocol: an flock sidecar serializes access, and a
+// checkpoint rewritten behind a session's back surfaces as a
+// *SessionConflictError instead of a silent lost update. cmd/mpicserve
+// wraps the whole machinery in a long-lived HTTP service — grid specs
+// in, Server-Sent progress events out, sessions durable across
+// restarts (package internal/service).
+//
 // # Network model
 //
 // By default the network is the paper's synchronous model: every symbol
