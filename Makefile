@@ -18,7 +18,7 @@ SWEEP_PARALLEL ?= 0
 # persisted, and re-running the same grid resumes instead of restarting.
 SWEEP_CHECKPOINT ?= SWEEP.ckpt.json
 
-.PHONY: verify tier1 race examples bench compare sweep cover chaos lint serve-e2e
+.PHONY: verify tier1 race examples bench bench-epoch compare sweep cover chaos lint serve-e2e
 
 verify: tier1 lint race examples
 
@@ -60,10 +60,17 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMicro|BenchmarkScaling' -benchmem .
 
+# The epoch-refresh R-axis sweep behind core.DefaultEpochRefresh: ns per
+# iteration as the seed-refresh interval grows from every-iteration
+# (≈ quadratic) to once-per-run (≈ the never-refreshed incremental
+# path). PERF.md records the trajectory.
+bench-epoch:
+	$(GO) test -run '^$$' -bench 'BenchmarkEpochRefresh' -benchmem .
+
 # Regenerate the experiment artefact and gate it against the previous
-# PR's (fails on >10% wall-clock regression).
+# PR's (fails on >10% regression in wall clock or heap allocations).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR8.json -compare BENCH_PR7.json
+	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR9.json -compare BENCH_PR8.json
 
 # The grid service end to end: submit over HTTP, shard across workers,
 # stream progress over SSE, survive a restart mid-grid, and release
@@ -76,7 +83,9 @@ serve-e2e:
 # torn checkpoint writes, cell panics, and a mid-flight cancellation —
 # plus the network soak, where every cell runs on the virtual-time
 # engine under jitter, outages, stragglers, and a crash-restart. Both
-# must stay bit-identical to a clean sequential run.
+# must stay bit-identical to a clean sequential run. The soaks run the
+# library defaults, so since PR 9 every cell exercises the epoch-refresh
+# hash path.
 chaos:
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestChaos' -v .
 

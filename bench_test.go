@@ -320,9 +320,10 @@ func BenchmarkMicroReferenceRun(b *testing.B) {
 }
 
 // benchIterations runs full-budget noiseless simulations on a line of 6
-// and reports amortized ns/iteration — the number that exposes whether
-// per-iteration cost grows with transcript length.
-func benchIterations(b *testing.B, iterFactor int, incremental bool) {
+// under the given hash mode (epochRefresh applies to core.HashEpoch only;
+// 0 = default) and reports amortized ns/iteration — the number that
+// exposes whether per-iteration cost grows with transcript length.
+func benchIterations(b *testing.B, iterFactor int, mode core.HashMode, epochRefresh int) {
 	b.Helper()
 	g := graph.Line(6)
 	proto := protocol.NewRandom(g, 300, 0.5, 1, nil)
@@ -330,7 +331,8 @@ func benchIterations(b *testing.B, iterFactor int, incremental bool) {
 	params.IterFactor = iterFactor
 	params.EarlyStop = false
 	params.Oracle = false
-	params.IncrementalHash = incremental
+	params.HashMode = mode
+	params.EpochRefresh = epochRefresh
 	b.ReportAllocs()
 	b.ResetTimer()
 	iters := 0
@@ -348,32 +350,53 @@ func benchIterations(b *testing.B, iterFactor int, incremental bool) {
 }
 
 // BenchmarkMicroIteration measures one full scheme iteration (all four
-// phases) on a line of 6, amortized. The seed code capped the budget at
-// 4·|Π| because per-iteration hashing swept the whole transcript
-// (quadratic total work); PR 1's kernel win raised it to 8·|Π|; with the
-// PR 2 incremental checkpoints the consistency check costs Θ(growth), so
-// the benchmark now runs 32·|Π| — and BenchmarkScalingBudget shows
-// ns/iteration no longer depends on the budget.
+// phases) on a line of 6, amortized, on the default epoch-refresh path.
+// The seed code capped the budget at 4·|Π| because per-iteration hashing
+// swept the whole transcript (quadratic total work); PR 1's kernel win
+// raised it to 8·|Π|; the PR 2 incremental checkpoints made the
+// consistency check cost Θ(growth), so the benchmark runs 32·|Π| — and
+// with PR 9 the default mode is the fast path, so this measures exactly
+// what an out-of-the-box run pays.
 func BenchmarkMicroIteration(b *testing.B) {
-	benchIterations(b, 32, true)
+	benchIterations(b, 32, core.HashEpoch, 0)
 }
 
 // BenchmarkScalingBudget sweeps the iteration budget with the quadratic
-// (per-iteration seed blocks, PR 1) and incremental (rewind-stable
-// checkpointed, PR 2) hash paths side by side. Quadratic ns/iteration
-// grows linearly with IterFactor (mean transcript length is proportional
-// to the budget); incremental stays flat.
+// (per-iteration seed blocks, now the HashLegacy escape hatch), the
+// never-refreshed incremental (PR 2), and the default epoch-refresh
+// (PR 9) hash paths side by side. Quadratic ns/iteration grows linearly
+// with IterFactor (mean transcript length is proportional to the
+// budget); incremental stays flat; epoch must stay within 10% of
+// incremental — the amortized Θ(|T|/R) refresh sweep is the entire
+// fidelity premium of the default.
 func BenchmarkScalingBudget(b *testing.B) {
 	for _, itf := range []int{8, 16, 32} {
-		for _, inc := range []bool{false, true} {
-			name := "iterfactor=" + strconv.Itoa(itf) + "/quadratic"
-			if inc {
-				name = "iterfactor=" + strconv.Itoa(itf) + "/incremental"
-			}
-			b.Run(name, func(b *testing.B) {
-				benchIterations(b, itf, inc)
+		for _, v := range []struct {
+			name string
+			mode core.HashMode
+		}{
+			{"quadratic", core.HashLegacy},
+			{"incremental", core.HashIncremental},
+			{"epoch", core.HashEpoch},
+		} {
+			b.Run("iterfactor="+strconv.Itoa(itf)+"/"+v.name, func(b *testing.B) {
+				benchIterations(b, itf, v.mode, 0)
 			})
 		}
+	}
+}
+
+// BenchmarkEpochRefresh sweeps the refresh interval R at a fixed 32·|Π|
+// budget — the measurement behind core.DefaultEpochRefresh. Small R
+// re-sweeps the transcript too often and converges on quadratic
+// behavior; past the default the amortized refresh cost is already well
+// under the growth sweep, so larger R buys fidelity loss (a collision
+// persists up to R checks) with no measurable speed.
+func BenchmarkEpochRefresh(b *testing.B) {
+	for _, r := range []int{1, 4, 8, 32, 128, 256, 512, 1024, 4096} {
+		b.Run("r="+strconv.Itoa(r), func(b *testing.B) {
+			benchIterations(b, 32, core.HashEpoch, r)
+		})
 	}
 }
 

@@ -116,6 +116,8 @@ func run(args []string) error {
 		swIters    = fs.Int("sweep-iterfactor", 30, "sweep: iteration budget multiplier")
 		swParallel = fs.Int("parallel", 0, "sweep: concurrent cells (0 = GOMAXPROCS, 1 = sequential)")
 		swCkpt     = fs.String("sweep-checkpoint", "", "sweep: incremental JSON checkpoint file; an existing one resumes the grid")
+		swHashMode = fs.String("sweep-hashmode", "", "sweep: prefix-hash seed discipline for every cell (epoch|legacy|incremental; empty = the library default, epoch)")
+		swEpochR   = fs.Int("sweep-epoch-refresh", 0, "sweep: epoch mode's seed-refresh interval R in iterations (0 = default)")
 		swDelay    = fs.String("delay", "", "sweep: comma-separated delay models (name[:param], "+strings.Join(mpic.DelayNames(), "|")+") run as a fourth grid axis; empty = lockstep")
 		swNetFlt   = fs.String("netfaults", "", "sweep: network-fault schedule applied to every cell, comma-separated k=v (outage, spike, stragglers, crashes, ...)")
 	)
@@ -166,6 +168,7 @@ func run(args []string) error {
 				Topology: *swTopology, Workload: *swWorkload, Rounds: *swRounds,
 				Noise: *swNoise, N: *swN, Schemes: *swSchemes, Rates: *swRates,
 				IterFactor: *swIters, Trials: *trials, Seed: *seed,
+				HashMode: *swHashMode, EpochRefresh: *swEpochR,
 				Delay: *swDelay, NetFaults: *swNetFlt,
 			},
 			ratesSet: ratesSet, parallel: *swParallel, checkpoint: *swCkpt,
@@ -225,10 +228,16 @@ func writeJSON(path string, tables []*experiments.Table) error {
 // much wall clock before it fails the comparison.
 const regressionGuardMS = 25
 
+// regressionGuardAllocs is the allocation-count analogue: GC timing and
+// map growth make tiny tables flap by a few thousand allocations, so an
+// allocs regression must also be at least this many allocations before
+// it fails the comparison.
+const regressionGuardAllocs = 10000
+
 // compareAgainst matches the freshly produced tables with a prior
 // artefact by experiment ID and prints the speedup table. It returns an
-// error (non-zero exit) if any experiment regressed by more than 10%
-// beyond the noise guard.
+// error (non-zero exit) if any experiment's wall clock or heap
+// allocation count regressed by more than 10% beyond the noise guards.
 func compareAgainst(w io.Writer, path string, tables []*experiments.Table) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -243,23 +252,33 @@ func compareAgainst(w io.Writer, path string, tables []*experiments.Table) error
 		oldByID[t.ID] = t
 	}
 	fmt.Fprintf(w, "### Comparison against %s\n\n", path)
-	fmt.Fprintln(w, "| experiment | old ms | new ms | speedup |")
-	fmt.Fprintln(w, "|---|---|---|---|")
+	fmt.Fprintln(w, "| experiment | old ms | new ms | speedup | old allocs | new allocs |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
 	var regressed []string
 	seen := make(map[string]bool, len(tables))
+	allocCols := func(o, t *experiments.Table) string {
+		if o == nil || o.Allocs == 0 || t.Allocs == 0 {
+			return fmt.Sprintf(" n/a | %d |", t.Allocs)
+		}
+		return fmt.Sprintf(" %d | %d |", o.Allocs, t.Allocs)
+	}
 	for _, t := range tables {
 		seen[t.ID] = true
 		o, ok := oldByID[t.ID]
 		switch {
 		case !ok:
-			fmt.Fprintf(w, "| %s | — | %.1f | new |\n", t.ID, t.ElapsedMS)
+			fmt.Fprintf(w, "| %s | — | %.1f | new |%s\n", t.ID, t.ElapsedMS, allocCols(nil, t))
 		case o.ElapsedMS <= 0 || t.ElapsedMS <= 0:
-			fmt.Fprintf(w, "| %s | n/a | %.1f | n/a |\n", t.ID, t.ElapsedMS)
+			fmt.Fprintf(w, "| %s | n/a | %.1f | n/a |%s\n", t.ID, t.ElapsedMS, allocCols(o, t))
 		default:
-			fmt.Fprintf(w, "| %s | %.1f | %.1f | %.2f× |\n", t.ID, o.ElapsedMS, t.ElapsedMS, o.ElapsedMS/t.ElapsedMS)
+			fmt.Fprintf(w, "| %s | %.1f | %.1f | %.2f× |%s\n", t.ID, o.ElapsedMS, t.ElapsedMS, o.ElapsedMS/t.ElapsedMS, allocCols(o, t))
 			if t.ElapsedMS > o.ElapsedMS*1.10 && t.ElapsedMS-o.ElapsedMS > regressionGuardMS {
 				regressed = append(regressed, fmt.Sprintf("%s (%.1fms → %.1fms)", t.ID, o.ElapsedMS, t.ElapsedMS))
 			}
+		}
+		if ok && o.Allocs > 0 && t.Allocs > 0 &&
+			float64(t.Allocs) > float64(o.Allocs)*1.10 && t.Allocs-o.Allocs > regressionGuardAllocs {
+			regressed = append(regressed, fmt.Sprintf("%s (allocs %d → %d)", t.ID, o.Allocs, t.Allocs))
 		}
 	}
 	// Experiments in the old artefact that this run did not produce are
@@ -273,7 +292,7 @@ func compareAgainst(w io.Writer, path string, tables []*experiments.Table) error
 	}
 	fmt.Fprintln(w)
 	if len(regressed) > 0 {
-		return fmt.Errorf("wall-clock regression >10%%: %s", strings.Join(regressed, ", "))
+		return fmt.Errorf("performance regression >10%%: %s", strings.Join(regressed, ", "))
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("experiments in %s not produced by this run: %s", path, strings.Join(missing, ", "))

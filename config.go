@@ -48,11 +48,22 @@ type Config struct {
 	Faithful bool
 	// Parallel enables the concurrent network executor.
 	Parallel bool
+	// HashMode selects the prefix-hash seed discipline by name: "epoch"
+	// (or empty — the default epoch-refresh fast path), "legacy" (the
+	// paper-faithful per-iteration reseeding), or "incremental" (the
+	// never-refreshed checkpoint path). See core.Params.HashMode.
+	HashMode string
+	// EpochRefresh is the refresh interval R of the "epoch" mode in
+	// iterations (0 selects the default; ignored by the other modes).
+	EpochRefresh int
 	// IncrementalHash routes the meeting-points prefix hashes through
 	// rewind-aware incremental checkpoints: Θ(growth) hash work per
 	// iteration instead of Θ(transcript), at the cost of rewind-stable
-	// (rather than per-iteration fresh) prefix-hash seeds. See
-	// core.Params.IncrementalHash for the fidelity trade-off.
+	// (rather than per-iteration fresh) prefix-hash seeds.
+	//
+	// Deprecated: set HashMode to "incremental" instead. On its own the
+	// bool keeps working; combined with a contradictory HashMode it is a
+	// HashModeConflictError.
 	IncrementalHash bool
 }
 
@@ -88,6 +99,10 @@ func (cfg Config) Scenario() (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
+	mode, err := ParseHashMode(cfg.HashMode)
+	if err != nil {
+		return Scenario{}, err
+	}
 	return Scenario{
 		Topology:        Topology(topoName, n),
 		Workload:        Workload(workloadName, cfg.WorkloadRounds),
@@ -97,6 +112,8 @@ func (cfg Config) Scenario() (Scenario, error) {
 		IterFactor:      cfg.IterFactor,
 		Faithful:        cfg.Faithful,
 		Parallel:        cfg.Parallel,
+		HashMode:        mode,
+		EpochRefresh:    cfg.EpochRefresh,
 		IncrementalHash: cfg.IncrementalHash,
 	}, nil
 }

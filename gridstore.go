@@ -634,14 +634,32 @@ func (sc Scenario) fingerprint() string {
 	case wl == "":
 		wl = "random"
 	}
+	// Resolve the deprecated bool the way Params.Validate does, so the
+	// two spellings of "incremental" share a fingerprint.
+	mode := sc.HashMode
+	if mode == HashEpoch && sc.IncrementalHash {
+		mode = HashIncremental
+	}
 	fp := fmt.Sprintf("topo=%s wl=%s/%d scheme=%d noise=%s seed=%d iters=%d faithful=%t inc=%t wb=%g",
 		topo, wl, sc.Workload.Rounds, sc.Scheme, describeNoise(sc.Noise),
-		sc.Seed, sc.IterFactor, sc.Faithful, sc.IncrementalHash, sc.WhiteBoxRate)
+		sc.Seed, sc.IterFactor, sc.Faithful, mode == HashIncremental, sc.WhiteBoxRate)
 	// The network-model suffix appears only when a scenario actually sets
 	// a delay or fault schedule, so every pre-virtual-time session keeps
 	// its exact fingerprint and resumes unchanged.
 	if sc.Delay != nil || sc.Faults != nil {
 		fp += fmt.Sprintf(" delay=%s netfaults=%s", describeDelay(sc.Delay), describeFaults(sc.Faults))
+	}
+	// Epoch mode — the post-PR-9 default — gets its own suffix keyed on
+	// the effective refresh interval. Explicit-legacy scenarios keep the
+	// bare fingerprint (bit-identical results to the old default), and
+	// sessions recorded under the old default resume only against
+	// HashLegacy, never silently against the new seed discipline.
+	if mode == HashEpoch {
+		r := sc.EpochRefresh
+		if r <= 0 {
+			r = DefaultEpochRefresh
+		}
+		fp += fmt.Sprintf(" hashmode=epoch/%d", r)
 	}
 	return fp
 }

@@ -166,12 +166,18 @@ func Run(opts Options) (*Result, error) {
 	maxLen := (iters + 1) * maxChunkBits
 	e.hash = hashing.NewInnerProductHash(p.HashBits, maxLen)
 	e.seedLay = hashing.NewSeedLayout(e.hash)
-	if p.IncrementalHash && !e.seedLay.RegionsDisjoint(iters) {
+	if p.HashMode != HashLegacy && !e.seedLay.RegionsDisjoint(iters) {
 		// The stable seed region starts at word 2^34 ≈ 1.7×10^10 (see
 		// hashing.stableBase for the sizing rationale); realistic budgets
 		// consume 10^8–10^9 per-iteration seed words, so only
 		// far-beyond-configured runs can get here.
 		return nil, fmt.Errorf("core: iteration budget %d overruns the stable seed region", iters)
+	}
+	if p.HashMode == HashEpoch {
+		epochs := (iters-1)/e.epochR() + 1
+		if !e.seedLay.EpochsFit(epochs) {
+			return nil, fmt.Errorf("core: %d refresh epochs overrun the epoch seed region (iters=%d, EpochRefresh=%d); raise EpochRefresh or select HashIncremental/HashLegacy", epochs, iters, p.EpochRefresh)
+		}
 	}
 	// Pre-size the per-link seed caches for the transcript lengths runs
 	// actually reach — |Π| chunks plus slack for dummy chunks — so the

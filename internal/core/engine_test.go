@@ -145,12 +145,16 @@ func TestLemma42NoiselessPotential(t *testing.T) {
 }
 
 // TestSingleDeletionRecovery: one deleted simulation bit costs O(1)
-// iterations, at every line length (Claim 4.7's consequence).
+// iterations, at every line length (Claim 4.7's consequence). The O(1)
+// bound needs the per-iteration collision independence of fresh seeds,
+// so this pins the paper-faithful HashLegacy mode; the epoch-refresh
+// companion below pins the relaxed bound of the default mode.
 func TestSingleDeletionRecovery(t *testing.T) {
 	for _, n := range []int{4, 7} {
 		g := graph.Line(n)
 		proto := quickProto(g, 4)
 		params := quickParams(AlgA, g, 4)
+		params.HashMode = HashLegacy
 		clean, err := Run(Options{Protocol: proto, Params: params})
 		if err != nil {
 			t.Fatal(err)
@@ -171,6 +175,51 @@ func TestSingleDeletionRecovery(t *testing.T) {
 		extra := noisy.Iterations - clean.Iterations
 		if extra > 6 {
 			t.Errorf("n=%d: one deletion cost %d extra iterations", n, extra)
+		}
+	}
+}
+
+// TestSingleDeletionRecoveryEpochBounded pins the epoch mode's relaxed
+// recovery guarantee: under epoch refresh, a prefix-hash collision can
+// persist at most R consecutive checks (the seed block is re-derived at
+// the next epoch boundary), so one deletion costs O(R) extra iterations
+// — never unbounded. This seed actually hits a persistent collision at
+// n=7 (32 undetected-collision iterations — exactly one epoch at the
+// pinned R — before the refresh clears it), making it a live regression
+// test for the refresh mechanism: HashIncremental never recovers on the
+// same input, and the persistence cap scales with R, which is why the
+// test pins R = 32 rather than the perf-tuned default (this scenario's
+// tight iteration budget ends before a default-sized epoch would).
+func TestSingleDeletionRecoveryEpochBounded(t *testing.T) {
+	const r = 32
+	for _, n := range []int{4, 7} {
+		g := graph.Line(n)
+		proto := quickProto(g, 4)
+		params := quickParams(AlgA, g, 4)
+		params.EpochRefresh = r
+		clean, err := Run(Options{Protocol: proto, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy, err := Run(Options{
+			Protocol: proto,
+			Params:   params,
+			AdversaryFactory: func(info RunInfo) adversary.Adversary {
+				return &oneSimDeletion{oracle: info.PhaseOracle, target: channel.Link{From: 0, To: 1}}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !noisy.Success {
+			t.Fatalf("n=%d: failed after one deletion under epoch refresh", n)
+		}
+		// A collision taints at most R checks; clearing the divergence it
+		// built costs a further O(R) of rewinding. 4R covers both with
+		// slack for the collision landing mid-epoch.
+		extra := noisy.Iterations - clean.Iterations
+		if limit := 4 * r; extra > limit {
+			t.Errorf("n=%d: one deletion cost %d extra iterations, want <= %d (collision persistence must be epoch-bounded)", n, extra, limit)
 		}
 	}
 }

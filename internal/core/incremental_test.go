@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -20,21 +21,36 @@ type inspectFunc func(it int, parties []*party)
 func (inspectFunc) IterationDone(IterationStats)              {}
 func (f inspectFunc) inspectParties(it int, parties []*party) { f(it, parties) }
 
-// testEnvIncremental mirrors testEnv with the incremental prefix-hash
-// path enabled.
+// testEnvIncremental mirrors testEnv with the never-refreshed
+// incremental prefix-hash path enabled.
 func testEnvIncremental(t *testing.T, g *graph.Graph) *env {
 	t.Helper()
 	e := testEnv(t, g)
+	e.params.HashMode = HashIncremental
 	e.params.IncrementalHash = true
+	return e
+}
+
+// testEnvEpoch mirrors testEnv with the epoch-refresh path at refresh
+// interval r.
+func testEnvEpoch(t *testing.T, g *graph.Graph, r int) *env {
+	t.Helper()
+	e := testEnv(t, g)
+	e.params.HashMode = HashEpoch
+	e.params.IncrementalHash = false
+	e.params.EpochRefresh = r
 	return e
 }
 
 // TestRunFixedSeedPinned pins the observable outcome of fixed-seed runs
 // across four configurations (CRS, exchange, adaptive noise, white-box
 // collision attack). The values were captured from the PR 1 code before
-// the incremental-hash subsystem landed: the default configuration must
-// keep producing them bit-for-bit, proving the checkpoint machinery
-// changes nothing unless Params.IncrementalHash asks for it.
+// the incremental-hash subsystem landed: HashLegacy must keep producing
+// them bit-for-bit, proving the legacy escape hatch really is the seed
+// engine — now that the repo default is epoch refresh, these pins are
+// what keeps old recorded runs reproducible on demand. A fifth subtest
+// pins the epoch default itself: a given (seed, R) replays bit-identically
+// under the sequential and the parallel executor.
 func TestRunFixedSeedPinned(t *testing.T) {
 	type pin struct {
 		succ          bool
@@ -60,6 +76,7 @@ func TestRunFixedSeedPinned(t *testing.T) {
 		params.IterFactor = 4
 		params.EarlyStop = false
 		params.CRSKey = 42
+		params.HashMode = HashLegacy
 		res, err := Run(Options{Protocol: proto, Params: params,
 			Adversary: adversary.NewRandomRate(0.002, rand.New(rand.NewSource(11)))})
 		if err != nil {
@@ -73,6 +90,7 @@ func TestRunFixedSeedPinned(t *testing.T) {
 		params := ParamsFor(AlgA, g)
 		params.IterFactor = 6
 		params.CRSKey = 7
+		params.HashMode = HashLegacy
 		res, err := Run(Options{Protocol: proto, Params: params,
 			Adversary: adversary.NewRandomRate(0.004, rand.New(rand.NewSource(5)))})
 		if err != nil {
@@ -86,6 +104,7 @@ func TestRunFixedSeedPinned(t *testing.T) {
 		params := ParamsFor(AlgB, g)
 		params.IterFactor = 5
 		params.CRSKey = 3
+		params.HashMode = HashLegacy
 		res, err := Run(Options{Protocol: proto, Params: params,
 			AdversaryFactory: func(info RunInfo) adversary.Adversary {
 				return adversary.NewAdaptive(info.Links, info.PhaseOracle, 4, 0.003, rand.New(rand.NewSource(17)))
@@ -102,46 +121,134 @@ func TestRunFixedSeedPinned(t *testing.T) {
 		params.IterFactor = 6
 		params.HashBits = 4
 		params.CRSKey = 13
+		params.HashMode = HashLegacy
 		res, err := Run(Options{Protocol: proto, Params: params, WhiteBoxRate: 0.01})
 		if err != nil {
 			t.Fatal(err)
 		}
 		check(t, res, pin{false, 120, 7, 10566, 4, 147, 20})
 	})
+	t.Run("epoch", func(t *testing.T) {
+		// The default mode's own pin: a fixed (seed, R) replays
+		// bit-identically, sequential or parallel. R = 32 puts three
+		// refreshes inside the 104-iteration run, so the pin covers the
+		// rebase machinery, not just the within-epoch incremental path —
+		// and on this seed the within-epoch-only run (any R > 104,
+		// including the default) actually fails on a persistent
+		// collision, which is exactly the pathology refreshing exists to
+		// cap. Values captured when epoch refresh became the default.
+		run := func(parallel bool) *Result {
+			g := graph.Ring(6)
+			proto := protocol.NewRandom(g, 120, 0.5, 3, nil)
+			params := ParamsFor(Alg1, g)
+			params.IterFactor = 4
+			params.EarlyStop = false
+			params.CRSKey = 42
+			params.EpochRefresh = 32
+			res, err := Run(Options{Protocol: proto, Params: params, Parallel: parallel,
+				Adversary: adversary.NewRandomRate(0.002, rand.New(rand.NewSource(11)))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		seq, par := run(false), run(true)
+		want := pin{true, 104, 49, 32833, 0, -1, -1}
+		check(t, seq, want)
+		check(t, par, want)
+		for i := range seq.Outputs {
+			if string(seq.Outputs[i]) != string(par.Outputs[i]) {
+				t.Fatalf("party %d output differs between sequential and parallel epoch runs", i)
+			}
+		}
+	})
 }
 
 // TestIncrementalMatchesDefaultNoiseless: without noise, transcripts
 // never diverge, every consistency check compares identical prefixes
 // under identical seed blocks, and the hash values themselves never steer
-// control flow — so the incremental mode must reproduce the default
-// mode's observable results exactly, for CRS and exchange randomness.
+// control flow — so every hash mode (the epoch default, the
+// never-refreshed incremental opt-in, and the deprecated bool spelling of
+// it) must reproduce the legacy mode's observable results exactly, for
+// CRS and exchange randomness.
 func TestIncrementalMatchesDefaultNoiseless(t *testing.T) {
 	for _, scheme := range []Scheme{Alg1, AlgA} {
 		g := graph.Ring(5)
 		proto := protocol.NewRandom(g, 150, 0.5, 6, nil)
-		run := func(incremental bool) *Result {
+		run := func(mut func(*Params)) *Result {
 			params := ParamsFor(scheme, g)
 			params.IterFactor = 4
 			params.CRSKey = 99
-			params.IncrementalHash = incremental
+			mut(&params)
 			res, err := Run(Options{Protocol: proto, Params: params, Adversary: adversary.None{}})
 			if err != nil {
 				t.Fatal(err)
 			}
 			return res
 		}
-		def, inc := run(false), run(true)
-		if def.Success != inc.Success || def.Iterations != inc.Iterations ||
-			def.Metrics.CC != inc.Metrics.CC || def.GStar != inc.GStar {
-			t.Fatalf("%v: incremental mode diverges noiselessly: def={succ:%v it:%d cc:%d g*:%d} inc={succ:%v it:%d cc:%d g*:%d}",
-				scheme, def.Success, def.Iterations, def.Metrics.CC, def.GStar,
-				inc.Success, inc.Iterations, inc.Metrics.CC, inc.GStar)
-		}
-		for i := range def.Outputs {
-			if string(def.Outputs[i]) != string(inc.Outputs[i]) {
-				t.Fatalf("%v: party %d output differs between modes", scheme, i)
+		def := run(func(p *Params) { p.HashMode = HashLegacy })
+		for _, alt := range []struct {
+			name string
+			mut  func(*Params)
+		}{
+			{"epoch-default", func(p *Params) {}},
+			{"epoch-r4", func(p *Params) { p.EpochRefresh = 4 }},
+			{"incremental", func(p *Params) { p.HashMode = HashIncremental }},
+			{"incremental-bool", func(p *Params) { p.IncrementalHash = true }},
+		} {
+			inc := run(alt.mut)
+			if def.Success != inc.Success || def.Iterations != inc.Iterations ||
+				def.Metrics.CC != inc.Metrics.CC || def.GStar != inc.GStar {
+				t.Fatalf("%v/%s: mode diverges noiselessly: def={succ:%v it:%d cc:%d g*:%d} got={succ:%v it:%d cc:%d g*:%d}",
+					scheme, alt.name, def.Success, def.Iterations, def.Metrics.CC, def.GStar,
+					inc.Success, inc.Iterations, inc.Metrics.CC, inc.GStar)
+			}
+			for i := range def.Outputs {
+				if string(def.Outputs[i]) != string(inc.Outputs[i]) {
+					t.Fatalf("%v/%s: party %d output differs between modes", scheme, alt.name, i)
+				}
 			}
 		}
+	}
+}
+
+// TestHashModeConflict pins the loud-failure contract: the deprecated
+// IncrementalHash bool set alongside a contradictory HashMode is a typed
+// error, never a silent preference; set consistently it keeps working.
+func TestHashModeConflict(t *testing.T) {
+	p := Params{ChunkBits: 10, HashBits: 8, HashMode: HashLegacy, IncrementalHash: true}
+	err := p.Validate()
+	var conflict *HashModeConflictError
+	if !errors.As(err, &conflict) {
+		t.Fatalf("Validate() = %v, want *HashModeConflictError", err)
+	}
+	if conflict.Mode != HashLegacy {
+		t.Fatalf("conflict reports mode %v, want legacy", conflict.Mode)
+	}
+	// The conflict must also surface through Run, not just direct Validate.
+	g := graph.Line(3)
+	bad := quickParams(Alg1, g, 1)
+	bad.HashMode = HashLegacy
+	bad.IncrementalHash = true
+	if _, err := Run(Options{Protocol: quickProto(g, 1), Params: bad}); !errors.As(err, &conflict) {
+		t.Fatalf("Run() = %v, want *HashModeConflictError", err)
+	}
+	// Consistent spellings normalize instead of erroring.
+	for _, p := range []Params{
+		{ChunkBits: 10, HashBits: 8, IncrementalHash: true},
+		{ChunkBits: 10, HashBits: 8, HashMode: HashIncremental, IncrementalHash: true},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("consistent params rejected: %v", err)
+		}
+		if p.HashMode != HashIncremental || !p.IncrementalHash {
+			t.Fatalf("normalization broken: mode=%v bool=%v", p.HashMode, p.IncrementalHash)
+		}
+	}
+	// Invalid EpochRefresh is rejected.
+	neg := Params{ChunkBits: 10, HashBits: 8, EpochRefresh: -1}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative EpochRefresh accepted")
 	}
 }
 
@@ -192,25 +299,104 @@ func TestHasherIncrementalMatchesReference(t *testing.T) {
 	}
 }
 
+// TestHasherEpochMatchesReference is the party-level golden test for the
+// epoch-refresh path: across iterations spanning several refresh
+// boundaries (R=2 here, so every other prepareIteration rebases the
+// checkpoint store onto a fresh seed block), interleaved with the same
+// truncate/regrow churn as the incremental variant, the checkpointed
+// hasher must produce exactly what the reference evaluator produces on
+// the live epoch's seed block.
+func TestHasherEpochMatchesReference(t *testing.T) {
+	g := graph.Line(3)
+	e := testEnvEpoch(t, g, 2)
+	p := newParty(e, 1)
+	rng := rand.New(rand.NewSource(4))
+	appendChunk := func(ls *linkState, i int) {
+		ls.T.Append(ChunkRecord{Index: i, Syms: []bitstring.Symbol{
+			bitstring.Symbol(rng.Intn(3)), bitstring.Symbol(rng.Intn(3))}})
+	}
+	for _, ls := range p.links {
+		for i := 1; i <= 12; i++ {
+			appendChunk(ls, i)
+		}
+	}
+	for it := 0; it < 7; it++ {
+		p.prepareIteration(it)
+		epoch := it / e.epochR()
+		for _, ls := range p.links {
+			// Rewind mid-sequence, then regrow — once straddling a refresh
+			// boundary (it=2 is the first rebase with R=2) and once inside
+			// an epoch, so invalidation composes with rebasing both ways.
+			if it == 2 || it == 5 {
+				ls.T.TruncateTo(ls.T.Len() - 5)
+			}
+			if it == 3 || it == 6 {
+				for i, target := ls.T.Len()+1, ls.T.Len()+4; i <= target; i++ {
+					appendChunk(ls, i)
+				}
+			}
+			for chunks := 0; chunks <= ls.T.Len(); chunks += 3 {
+				for slot := 1; slot <= 2; slot++ {
+					s := hashing.SlotMP1
+					if slot == 2 {
+						s = hashing.SlotMP2
+					}
+					want := e.hash.HashPrefix(ls.T.Bits(), ls.T.PrefixBits(chunks), ls.src, e.seedLay.EpochOffset(s, epoch))
+					if got := ls.h.HashPrefix(chunks, slot); got != want {
+						t.Fatalf("it=%d epoch=%d chunks=%d slot=%d: epoch-mode %#x != reference %#x", it, epoch, chunks, slot, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestRewindHammerSchemes runs the truncation-forcing adversary against
-// schemes A and B: the runs must complete, account their corruptions, and
-// — because the hammer's whole point is forcing deep rollbacks — actually
-// truncate transcripts. With the incremental path enabled, an
-// after-iteration whitebox invariant re-checks every link's prefix hashes
-// against the reference evaluator, so checkpoint invalidation is
-// exercised by a live rewind storm, not just by unit fuzz.
+// schemes A and B under every hash mode: the runs must complete, account
+// their corruptions, and — because the hammer's whole point is forcing
+// deep rollbacks — actually truncate transcripts. In the checkpointed
+// modes, an after-iteration whitebox invariant re-checks every link's
+// prefix hashes against the reference evaluator on the mode's own seed
+// block (the stable block, or the live epoch's block), so checkpoint
+// invalidation AND epoch rebasing are exercised by a live rewind storm,
+// not just by unit fuzz. The hammer's poison/quiet cycle is depth+quiet
+// = 4 iterations, so the epoch cases at R=4 put a truncation burst at a
+// fixed phase of every refresh interval — including bursts landing
+// exactly on the refresh iteration — and R=1 refreshes under every
+// single truncation.
 func TestRewindHammerSchemes(t *testing.T) {
 	for _, tc := range []struct {
-		scheme      Scheme
-		incremental bool
-	}{{AlgA, false}, {AlgA, true}, {AlgB, false}, {AlgB, true}} {
+		name   string
+		scheme Scheme
+		mode   HashMode
+		r      int
+	}{
+		{"algA/legacy", AlgA, HashLegacy, 0},
+		{"algA/incremental", AlgA, HashIncremental, 0},
+		{"algA/epoch-r1", AlgA, HashEpoch, 1},
+		{"algA/epoch-r4", AlgA, HashEpoch, 4},
+		{"algB/legacy", AlgB, HashLegacy, 0},
+		{"algB/incremental", AlgB, HashIncremental, 0},
+		{"algB/epoch-r4", AlgB, HashEpoch, 4},
+	} {
 		g := graph.Line(4)
 		proto := protocol.NewRandom(g, 120, 0.5, 8, nil)
 		params := ParamsFor(tc.scheme, g)
 		params.IterFactor = 8
 		params.EarlyStop = false
 		params.CRSKey = 21
-		params.IncrementalHash = tc.incremental
+		params.HashMode = tc.mode
+		params.EpochRefresh = tc.r
+		refOffset := func(p *party, s hashing.Slot, it int) (uint64, bool) {
+			switch tc.mode {
+			case HashIncremental:
+				return p.env.seedLay.StableOffset(s), true
+			case HashEpoch:
+				return p.env.seedLay.EpochOffset(s, it/p.env.epochR()), true
+			default:
+				return 0, false
+			}
+		}
 		var hammer *adversary.RewindHammer
 		truncations := 0
 		lastLen := map[[2]graph.Node]int{}
@@ -218,7 +404,7 @@ func TestRewindHammerSchemes(t *testing.T) {
 			Protocol: proto,
 			Params:   params,
 			AdversaryFactory: func(info RunInfo) adversary.Adversary {
-				hammer = adversary.NewRewindHammer(info.Links, info.PhaseOracle, 3, 0.01, 3, 5)
+				hammer = adversary.NewRewindHammer(info.Links, info.PhaseOracle, 3, 0.01, 3, 1)
 				return hammer
 			},
 			Observers: []Observer{inspectFunc(func(it int, parties []*party) {
@@ -229,19 +415,20 @@ func TestRewindHammerSchemes(t *testing.T) {
 							truncations++
 						}
 						lastLen[key] = ls.T.Len()
-						if !tc.incremental {
-							continue
-						}
 						for _, chunks := range []int{0, ls.T.Len() / 2, ls.T.Len()} {
 							for slot := 1; slot <= 2; slot++ {
 								s := hashing.SlotMP1
 								if slot == 2 {
 									s = hashing.SlotMP2
 								}
-								want := p.env.hash.HashPrefix(ls.T.Bits(), ls.T.PrefixBits(chunks), ls.src, p.env.seedLay.StableOffset(s))
+								off, ok := refOffset(p, s, it)
+								if !ok {
+									continue
+								}
+								want := p.env.hash.HashPrefix(ls.T.Bits(), ls.T.PrefixBits(chunks), ls.src, off)
 								if got := ls.h.HashPrefix(chunks, slot); got != want {
-									t.Fatalf("%v inc=%v it=%d link %d→%d chunks=%d slot=%d: %#x != reference %#x",
-										tc.scheme, tc.incremental, it, p.id, ls.peer, chunks, slot, got, want)
+									t.Fatalf("%s it=%d link %d→%d chunks=%d slot=%d: %#x != reference %#x",
+										tc.name, it, p.id, ls.peer, chunks, slot, got, want)
 								}
 							}
 						}
@@ -254,13 +441,13 @@ func TestRewindHammerSchemes(t *testing.T) {
 			t.Fatal(err)
 		}
 		if res.Iterations == 0 {
-			t.Fatalf("%v inc=%v: no iterations executed", tc.scheme, tc.incremental)
+			t.Fatalf("%s: no iterations executed", tc.name)
 		}
 		if hammer.Corruptions() == 0 {
-			t.Fatalf("%v inc=%v: hammer never fired", tc.scheme, tc.incremental)
+			t.Fatalf("%s: hammer never fired", tc.name)
 		}
 		if truncations == 0 {
-			t.Fatalf("%v inc=%v: hammer forced no truncations", tc.scheme, tc.incremental)
+			t.Fatalf("%s: hammer forced no truncations", tc.name)
 		}
 	}
 }
@@ -289,6 +476,36 @@ func TestPrepareIterationIncrementalAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("incremental prepareIteration allocates %.1f times in steady state, want 0", allocs)
+	}
+}
+
+// TestPrepareIterationEpochAllocs pins the same steady-state contract on
+// the default epoch path with R=2, so the measured loop crosses a refresh
+// boundary on every prepareIteration pair: the epoch rebase (SetBlock on
+// a fresh seed block plus full checkpoint rebuild) must recycle the
+// warmed buffers, not allocate.
+func TestPrepareIterationEpochAllocs(t *testing.T) {
+	g := graph.Line(3)
+	e := testEnvEpoch(t, g, 2)
+	p := newParty(e, 1)
+	for _, ls := range p.links {
+		for i := 1; i <= 30; i++ {
+			ls.T.Append(ChunkRecord{Index: i, Syms: []bitstring.Symbol{bitstring.Sym1, bitstring.Sym0, bitstring.Silence}})
+		}
+	}
+	p.prepareIteration(0)
+	p.prepareIteration(1)
+	it := 2
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ls := range p.links {
+			ls.T.TruncateTo(29)
+		}
+		p.prepareIteration(it)
+		p.prepareIteration(it + 1)
+		it += 2
+	})
+	if allocs != 0 {
+		t.Fatalf("epoch prepareIteration allocates %.1f times in steady state, want 0", allocs)
 	}
 }
 

@@ -53,9 +53,11 @@ type linkState struct {
 	// are re-pointed by prepareIteration and feed the allocation-free
 	// kernel.
 	ck, c1, c2 *hashing.BlockCache
-	// p1, p2 replace c1, c2 when Params.IncrementalHash is set: rewind-
-	// aware checkpointed hashers over the stable seed region, whose cost
-	// per evaluation is proportional to transcript growth, not length.
+	// p1, p2 replace c1, c2 in the checkpointed modes (HashEpoch /
+	// HashIncremental): rewind-aware checkpointed hashers over the stable
+	// seed region, whose cost per evaluation is proportional to
+	// transcript growth, not length. Under HashEpoch, prepareIteration
+	// rebases them onto a fresh seed block every EpochRefresh iterations.
 	p1, p2 *hashing.Checkpointed
 	// h is the link's meeting.Hasher, boxed once at source binding so the
 	// per-iteration hash calls do not re-box the interface value.
@@ -99,9 +101,9 @@ func (h hasher) HashK(k int) uint64 {
 	return h.env.hash.HashWordCached(uint64(k), meeting.KWidth, h.ls.ck)
 }
 
-// HashPrefix implements meeting.Hasher. With IncrementalHash the
-// evaluation resumes from the checkpointed accumulators; otherwise it
-// sweeps the materialized per-iteration seed block.
+// HashPrefix implements meeting.Hasher. In the checkpointed modes the
+// evaluation resumes from the checkpointed accumulators; under
+// HashLegacy it sweeps the materialized per-iteration seed block.
 func (h hasher) HashPrefix(chunks int, slot int) uint64 {
 	if h.ls.p1 != nil {
 		p := h.ls.p1
@@ -227,13 +229,24 @@ func (p *party) initSeeds() {
 	}
 }
 
+// epochR returns the effective seed-refresh interval for HashEpoch,
+// tolerating manually built test envs that never ran Params.Validate.
+func (e *env) epochR() int {
+	if r := e.params.EpochRefresh; r > 0 {
+		return r
+	}
+	return DefaultEpochRefresh
+}
+
 // bindSource installs a link's seed stream and builds its per-slot hash
 // state over it, pre-sized from the layout so steady-state hashing
 // allocates nothing: per-iteration block caches for the counter slot and
-// — depending on Params.IncrementalHash — either per-iteration caches or
-// rewind-stable checkpointed hashers for the two prefix slots.
-// Exchange-mode receivers bind late (finishExchange); everyone else binds
-// at construction.
+// — depending on Params.HashMode — either per-iteration caches
+// (HashLegacy) or checkpointed hashers over the stable seed region for
+// the two prefix slots (HashEpoch starts in epoch 0, whose block
+// coincides with StableOffset; prepareIteration rebases it every
+// EpochRefresh iterations). Exchange-mode receivers bind late
+// (finishExchange); everyone else binds at construction.
 func (e *env) bindSource(ls *linkState, src hashing.SeedSource) {
 	ls.src = src
 	var pool *hashing.BufferPool
@@ -241,10 +254,10 @@ func (e *env) bindSource(ls *linkState, src hashing.SeedSource) {
 		pool = &e.arena.pool
 	}
 	ls.ck = hashing.NewBlockCacheIn(pool, e.hash, src, 1)
-	if e.params.IncrementalHash {
+	if e.params.HashMode != HashLegacy {
 		bits := ls.T.Bits()
-		ls.p1 = hashing.NewCheckpointedIn(pool, e.hash, src, e.seedLay.StableOffset(hashing.SlotMP1), bits, e.seedHintWords, 0)
-		ls.p2 = hashing.NewCheckpointedIn(pool, e.hash, src, e.seedLay.StableOffset(hashing.SlotMP2), bits, e.seedHintWords, 0)
+		ls.p1 = hashing.NewCheckpointedIn(pool, e.hash, src, e.seedLay.EpochOffset(hashing.SlotMP1, 0), bits, e.seedHintWords, 0)
+		ls.p2 = hashing.NewCheckpointedIn(pool, e.hash, src, e.seedLay.EpochOffset(hashing.SlotMP2, 0), bits, e.seedHintWords, 0)
 	} else {
 		ls.c1 = hashing.NewBlockCacheIn(pool, e.hash, src, e.seedHintWords)
 		ls.c2 = hashing.NewBlockCacheIn(pool, e.hash, src, e.seedHintWords)
@@ -401,12 +414,22 @@ func (p *party) prepareIteration(it int) {
 		ls.ck.SetBlock(p.env.seedLay.Offset(it, hashing.SlotK))
 		if ls.p1 == nil {
 			// Per-iteration prefix seeds: re-point the caches at this
-			// iteration's blocks. The checkpointed hashers need no
-			// per-iteration step — their seed block is rewind-stable and
-			// invalidation is driven by the transcript itself.
+			// iteration's blocks.
 			ls.c1.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP1))
 			ls.c2.SetBlock(p.env.seedLay.Offset(it, hashing.SlotMP2))
+		} else if p.env.params.HashMode == HashEpoch {
+			// Epoch refresh: rebase the checkpointed hashers onto the
+			// current epoch's seed block. SetBlock is a no-op within an
+			// epoch; at a boundary it discards the checkpoints, and the
+			// next evaluation re-sweeps the whole prefix against the fresh
+			// block — amortized Θ(|T|/R) per iteration.
+			epoch := it / p.env.epochR()
+			ls.p1.SetBlock(p.env.seedLay.EpochOffset(hashing.SlotMP1, epoch))
+			ls.p2.SetBlock(p.env.seedLay.EpochOffset(hashing.SlotMP2, epoch))
 		}
+		// HashIncremental needs no per-iteration step — its seed block is
+		// rewind-stable for the whole run and invalidation is driven by
+		// the transcript itself.
 		msg := ls.mp.Outgoing(ls.h, ls.T.Len())
 		ls.mpOwn = msg
 		if ls.mpOut == nil {

@@ -44,6 +44,7 @@ func TestSweepReproducesExperimentTable(t *testing.T) {
 				Noise:      noise,
 				Seed:       cfg.Seed,
 				IterFactor: iterBudget(cfg),
+				HashMode:   mpic.HashLegacy, // the tables pin the paper-faithful path
 			},
 			Trials:   cfg.trials(),
 			SeedStep: trialSeedStep,

@@ -49,6 +49,7 @@ func FullyUtilizedCost(cfg Config) (*Table, error) {
 				Scheme:     mpic.AlgorithmA,
 				Seed:       cfg.Seed,
 				IterFactor: iterBudget(cfg),
+				HashMode:   mpic.HashLegacy, // paper-faithful, like cellScenario
 			}, cfg))
 		}
 	}

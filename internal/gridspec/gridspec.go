@@ -29,6 +29,8 @@ type Scenario struct {
 	IterFactor      int     `json:"iterfactor,omitempty"`
 	Faithful        bool    `json:"faithful,omitempty"`
 	Parallel        bool    `json:"parallel,omitempty"`
+	HashMode        string  `json:"hashmode,omitempty"`
+	EpochRefresh    int     `json:"epochRefresh,omitempty"`
 	IncrementalHash bool    `json:"incrementalHash,omitempty"`
 	Delay           string  `json:"delay,omitempty"`
 	NetFaults       string  `json:"netfaults,omitempty"`
@@ -57,6 +59,8 @@ func (s Scenario) Build() (mpic.Scenario, error) {
 		IterFactor:      s.IterFactor,
 		Faithful:        s.Faithful,
 		Parallel:        s.Parallel,
+		HashMode:        s.HashMode,
+		EpochRefresh:    s.EpochRefresh,
 		IncrementalHash: s.IncrementalHash,
 	}.Scenario()
 	if err != nil {
@@ -92,6 +96,12 @@ type Grid struct {
 	Trials     int    `json:"trials,omitempty"`
 	Seed       int64  `json:"seed,omitempty"`
 	IterFactor int    `json:"iterfactor,omitempty"`
+	// HashMode pins the sweep's prefix-hash seed discipline ("epoch",
+	// "legacy", "incremental"); empty means the library default. Set
+	// fields join the Spec fingerprint, so checkpoints from before the
+	// fields existed keep theirs.
+	HashMode     string `json:"hashmode,omitempty"`
+	EpochRefresh int    `json:"epochRefresh,omitempty"`
 	// SeedStep overrides the per-trial seed stride; 0 means the default
 	// (7907). Non-default strides join the Spec fingerprint.
 	SeedStep int64 `json:"seedstep,omitempty"`
@@ -142,6 +152,12 @@ func (g Grid) Spec() string {
 	if g.SeedStep != 0 && g.SeedStep != defaultSeedStep {
 		s += fmt.Sprintf(" seedstep=%d", g.SeedStep)
 	}
+	if g.HashMode != "" {
+		s += fmt.Sprintf(" hashmode=%s", g.HashMode)
+	}
+	if g.EpochRefresh != 0 {
+		s += fmt.Sprintf(" epochrefresh=%d", g.EpochRefresh)
+	}
 	return s
 }
 
@@ -176,9 +192,11 @@ func (g Grid) Sweep() (mpic.Sweep, error) {
 		Topology: g.Topology,
 		N:        ns[0],
 		Workload: g.Workload, WorkloadRounds: g.Rounds,
-		Noise:      g.Noise,
-		Seed:       g.Seed,
-		IterFactor: g.IterFactor,
+		Noise:        g.Noise,
+		Seed:         g.Seed,
+		IterFactor:   g.IterFactor,
+		HashMode:     g.HashMode,
+		EpochRefresh: g.EpochRefresh,
 	}.Scenario()
 	if err != nil {
 		return mpic.Sweep{}, err

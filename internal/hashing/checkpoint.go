@@ -54,9 +54,14 @@ type Checkpointed struct {
 	w *bitstring.Watermark
 
 	spacing int
+	fine    int      // dense spacing inside the rewind band (spacing/4, min 1)
 	gen     uint64   // x.Gen() at the last sync
-	ck      []uint64 // ck[(i-1)·τ + j]: row-j accumulator over words [0, i·spacing)
+	ck      []uint64 // ck[(i-1)·τ + j]: row-j accumulator of checkpoint i
+	ckw     []int    // ckw[i-1]: words covered by checkpoint i (ascending)
 	nck     int      // highest valid checkpoint index (0 = none)
+
+	lastLen int // x.Len() at the last sync — rewind depths measure from here
+	band    int // decaying max observed rewind depth in bits (0 = no rewind yet)
 }
 
 // NewCheckpointed returns an incremental prefix hasher for x over the
@@ -78,28 +83,55 @@ func NewCheckpointedIn(pool *BufferPool, h *InnerProductHash, src SeedSource, ba
 	if spacing <= 0 {
 		spacing = DefaultCheckpointSpacing
 	}
+	fine := spacing / 4
+	if fine < 1 {
+		fine = 1
+	}
 	s := &Checkpointed{
 		h:       h,
 		x:       x,
 		c:       NewBlockCacheIn(pool, h, src, hintWords),
 		w:       x.AttachWatermark(),
 		spacing: spacing,
+		fine:    fine,
 		gen:     x.Gen(),
+		lastLen: x.Len(),
 	}
 	s.c.SetBlock(base)
 	if maxRow := int(h.wordsPerRow()); hintWords > maxRow {
 		hintWords = maxRow
 	}
 	if hintWords > 0 {
-		need := (hintWords/spacing + 1) * h.Tau
+		need := hintWords/spacing + 1
 		if pool != nil {
-			s.ck = pool.Get(need)
+			s.ck = pool.Get(need * h.Tau)
 		} else {
-			s.ck = make([]uint64, 0, need)
+			s.ck = make([]uint64, 0, need*h.Tau)
 		}
+		s.ckw = make([]int, 0, need)
 	}
 	return s
 }
+
+// SetBlock re-points the store at a new seed block — the epoch-refresh
+// primitive. Every checkpoint is discarded (the accumulators cache inner
+// products against the old block's rows) and the seed-row cache is
+// rebased, both keeping their allocations; the next HashPrefix re-sweeps
+// the whole prefix against the fresh block. Callers that refresh every R
+// iterations therefore pay one Θ(|T|) sweep per epoch — amortized
+// Θ(|T|/R) per iteration — in exchange for bounding how long a colliding
+// prefix pair can persist (see the package doc's union-bound discussion).
+// Re-pointing at the current block is a no-op.
+func (s *Checkpointed) SetBlock(base uint64) {
+	if s.c.haveSet && s.c.base == base {
+		return
+	}
+	s.c.SetBlock(base)
+	s.nck = 0
+}
+
+// Base returns the first stream word of the current seed block.
+func (s *Checkpointed) Base() uint64 { return s.c.base }
 
 // Release hands the store's buffers back to pool (nil is a no-op) and
 // empties the store; it must not be used afterwards. Checkpoint contents
@@ -113,6 +145,7 @@ func (s *Checkpointed) Release(pool *BufferPool) {
 	s.c.Release(pool)
 	pool.Put(s.ck)
 	s.ck = nil
+	s.ckw = nil
 	s.nck = 0
 }
 
@@ -133,16 +166,49 @@ func (s *Checkpointed) Checkpoints() int {
 // The generation check makes the no-mutation case one comparison; after
 // any mutation the watermark yields the lowest bit length x reached, and
 // every checkpoint covering words at or beyond that point is dropped.
+// Observed rewinds also feed the adaptive-spacing band: the depth of the
+// deepest recent truncation (as a decaying maximum) sizes the region
+// below the live frontier that gets denser checkpoints, so the next
+// truncation of similar depth lands near a checkpoint instead of forcing
+// a long re-sweep from a sparse one.
 func (s *Checkpointed) sync() {
 	g := s.x.Gen()
 	if g == s.gen {
 		return
 	}
 	low := s.w.Take()
-	if maxCk := (low >> 6) / s.spacing; maxCk < s.nck {
-		s.nck = maxCk
+	if depth := s.lastLen - low; depth > 0 {
+		s.band -= s.band >> 2
+		if depth > s.band {
+			s.band = depth
+		}
+	}
+	s.lastLen = s.x.Len()
+	// Binary search for the number of checkpoints whose covered words all
+	// lie strictly below the low-water word (ckw is ascending).
+	lw := low >> 6
+	lo, hi := 0, s.nck
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.ckw[mid] <= lw {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.nck {
+		s.nck = lo
 	}
 	s.gen = g
+}
+
+// RewindBand returns the current adaptive-spacing band in bits: the
+// decaying maximum truncation depth observed so far (0 until the first
+// rewind — fixed-spacing behavior is bit-for-bit unchanged until then).
+// Test and instrumentation hook.
+func (s *Checkpointed) RewindBand() int {
+	s.sync()
+	return s.band
 }
 
 // HashPrefix evaluates the hash on the first nbits bits of x, resuming
@@ -166,21 +232,48 @@ func (s *Checkpointed) HashPrefix(nbits int) uint64 {
 	tau := s.h.Tau
 	buf := s.c.buf
 	// Resume. The final word of the sweep is tail-masked, so a checkpoint
-	// is usable only if every word it covers lies strictly before nw-1;
-	// clamping to (nw-1)/spacing guarantees that.
-	k := (nw - 1) / s.spacing
-	if k > s.nck {
-		k = s.nck
+	// is usable only if every word it covers lies strictly before nw-1:
+	// binary-search the highest checkpoint with ckw ≤ nw-1.
+	k := 0
+	{
+		lo, hi := 0, s.nck
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.ckw[mid] <= nw-1 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		k = lo
 	}
 	var acc [64]uint64
+	start := 0
 	if k > 0 {
 		copy(acc[:tau], s.ck[(k-1)*tau:k*tau])
+		start = s.ckw[k-1]
 	}
-	for i := k * s.spacing; i < nw; i++ {
-		if i > 0 && i%s.spacing == 0 && i/s.spacing == s.nck+1 {
+	// Adaptive spacing: inside the band of recently observed truncation
+	// depths below the live frontier, checkpoints go down every fine
+	// words instead of every spacing words; bandStart stays past nw when
+	// no rewind has been seen, reproducing the fixed grid exactly.
+	frontier := 0
+	if s.nck > 0 {
+		frontier = s.ckw[s.nck-1]
+	}
+	bandStart := nw // band empty unless a rewind has been observed
+	if s.band > 0 {
+		bandStart = (s.x.Len() - s.band) >> 6
+		if bandStart < 0 {
+			bandStart = 0
+		}
+	}
+	for i := start; i < nw; i++ {
+		if i > 0 && i >= frontier+s.stepAt(i, bandStart) {
 			// acc covers exactly words [0, i) of x, all of them complete
 			// (i ≤ nw-1 < ⌈Len/64⌉) and unmasked: snapshot.
-			s.pushCheckpoint(acc[:tau])
+			s.pushCheckpoint(acc[:tau], i)
+			frontier = i
 		}
 		w := xw[i]
 		if i == nw-1 {
@@ -193,11 +286,21 @@ func (s *Checkpointed) HashPrefix(nbits int) uint64 {
 	return foldParity(acc[:tau])
 }
 
-// pushCheckpoint appends the next checkpoint snapshot after the live
-// frontier (entries past nck·τ are stale after an invalidation and are
-// overwritten in place; append's geometric growth keeps steady-state
-// extension allocation-free once warm).
-func (s *Checkpointed) pushCheckpoint(acc []uint64) {
+// stepAt returns the checkpoint interval in effect at word i: the dense
+// interval inside the rewind band, the base spacing below it.
+func (s *Checkpointed) stepAt(i, bandStart int) int {
+	if i >= bandStart {
+		return s.fine
+	}
+	return s.spacing
+}
+
+// pushCheckpoint appends the next checkpoint snapshot, covering words
+// [0, words), after the live frontier (entries past nck·τ are stale
+// after an invalidation and are overwritten in place; append's geometric
+// growth keeps steady-state extension allocation-free once warm).
+func (s *Checkpointed) pushCheckpoint(acc []uint64, words int) {
 	s.ck = append(s.ck[:s.nck*len(acc)], acc...)
+	s.ckw = append(s.ckw[:s.nck], words)
 	s.nck++
 }

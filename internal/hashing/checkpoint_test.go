@@ -56,6 +56,167 @@ func TestCheckpointedGoldenEquivalence(t *testing.T) {
 	}
 }
 
+// TestCheckpointedEpochGoldenEquivalence extends the golden fuzz with the
+// epoch-refresh primitive: randomized append/truncate/hash schedules now
+// interleave SetBlock rebases onto other epochs' seed blocks — including
+// refreshes immediately after a truncation, and repeated rebases with no
+// mutation in between — and every evaluation must still agree
+// bit-for-bit with the reference evaluator on the *current* block, for
+// τ ∈ {1..64} and both seed sources. This is the exact access pattern of
+// HashEpoch mode: the store's checkpoints must never survive a rebase,
+// and a no-op rebase (same block) must never discard them.
+func TestCheckpointedEpochGoldenEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(90817))
+	for trial := 0; trial < 240; trial++ {
+		tau := 1 + rng.Intn(64)
+		maxLen := 1 + rng.Intn(900)
+		h := NewInnerProductHash(tau, maxLen)
+		var src, srcRef SeedSource
+		a, b := rng.Uint64(), rng.Uint64()
+		if trial%2 == 0 {
+			src, srcRef = NewPRFSource(a, b), NewPRFSource(a, b)
+		} else {
+			src, srcRef = NewAGHPSource(a, b), NewAGHPSource(a, b)
+		}
+		lay := NewSeedLayout(h)
+		slot := Slot(rng.Intn(int(numSlots)))
+		base := lay.EpochOffset(slot, 0)
+		x := bitstring.NewBitVec(0)
+		s := NewCheckpointed(h, src, base, x, rng.Intn(10), rng.Intn(12))
+		for step := 0; step < 48; step++ {
+			switch op := rng.Intn(12); {
+			case op < 5: // append a short run of bits
+				x.AppendUint(rng.Uint64(), 1+rng.Intn(64))
+			case op < 7 && x.Len() > 0: // rewind
+				x.Truncate(rng.Intn(x.Len() + 1))
+			case op < 9: // epoch refresh (sometimes to the current epoch: no-op)
+				base = lay.EpochOffset(slot, rng.Intn(5))
+				s.SetBlock(base)
+				if s.Base() != base {
+					t.Fatalf("trial %d step %d: Base() = %#x after SetBlock(%#x)", trial, step, s.Base(), base)
+				}
+			default: // consistency check at a random prefix
+				nbits := rng.Intn(x.Len() + 1)
+				if rng.Intn(4) == 0 {
+					nbits = x.Len()
+				}
+				got := s.HashPrefix(nbits)
+				want := h.HashPrefix(x, nbits, srcRef, base)
+				if got != want {
+					t.Fatalf("trial %d step %d: τ=%d len=%d nbits=%d base=%#x: epoch store %#x != reference %#x",
+						trial, step, tau, x.Len(), nbits, base, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointedSetBlockLifecycle pins the rebase semantics directly:
+// a rebase to a different block discards every checkpoint and the next
+// evaluation rebuilds them against the new block; a rebase to the current
+// block keeps them (the no-op that makes per-iteration SetBlock calls in
+// epoch mode free inside an epoch).
+func TestCheckpointedSetBlockLifecycle(t *testing.T) {
+	h := NewInnerProductHash(8, 1<<14)
+	src, ref := NewPRFSource(3, 4), NewPRFSource(3, 4)
+	lay := NewSeedLayout(h)
+	x := bitstring.NewBitVec(0)
+	s := NewCheckpointed(h, src, lay.EpochOffset(SlotMP1, 0), x, 0, 4)
+	for i := 0; i < 64; i++ {
+		x.AppendUint(rand.New(rand.NewSource(int64(i))).Uint64(), 64)
+	}
+	s.HashPrefix(x.Len())
+	n := s.Checkpoints()
+	if n == 0 {
+		t.Fatal("no checkpoints built")
+	}
+	// No-op rebase: same block, checkpoints survive.
+	s.SetBlock(lay.EpochOffset(SlotMP1, 0))
+	if got := s.Checkpoints(); got != n {
+		t.Fatalf("no-op SetBlock dropped checkpoints: %d -> %d", n, got)
+	}
+	// Real rebase: all checkpoints gone, next hash matches the reference
+	// on the new block and rebuilds the store.
+	next := lay.EpochOffset(SlotMP1, 1)
+	s.SetBlock(next)
+	if got := s.Checkpoints(); got != 0 {
+		t.Fatalf("SetBlock to a new block kept %d checkpoints", got)
+	}
+	if got, want := s.HashPrefix(x.Len()), h.HashPrefix(x, x.Len(), ref, next); got != want {
+		t.Fatalf("post-rebase hash %#x != reference %#x", got, want)
+	}
+	if got := s.Checkpoints(); got != n {
+		t.Fatalf("post-rebase rebuild has %d checkpoints, want %d", got, n)
+	}
+}
+
+// TestCheckpointedAdaptiveSpacing pins the rewind-band mechanics: before
+// any truncation the store lays the fixed grid (bit-for-bit the pre-band
+// behavior); a deep truncation opens a band of that depth, and regrowth
+// through the band lays checkpoints at the dense interval, so the next
+// same-depth truncation resumes from a nearby checkpoint; shallower
+// subsequent rewinds decay the band. Hash values are unaffected
+// throughout (the golden fuzz already proves that under random
+// schedules; here the band accessor itself is pinned).
+func TestCheckpointedAdaptiveSpacing(t *testing.T) {
+	h := NewInnerProductHash(8, 1<<14)
+	src, ref := NewPRFSource(11, 12), NewPRFSource(11, 12)
+	lay := NewSeedLayout(h)
+	base := lay.StableOffset(SlotMP1)
+	x := bitstring.NewBitVec(0)
+	s := NewCheckpointed(h, src, base, x, 0, 8) // fine interval = 2 words
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 64; i++ {
+		x.AppendUint(rng.Uint64(), 64)
+	}
+	s.HashPrefix(x.Len())
+	if got := s.RewindBand(); got != 0 {
+		t.Fatalf("band %d before any rewind, want 0", got)
+	}
+	// 64 words at spacing 8 with the masked final word: fixed grid lays
+	// checkpoints covering 8..56 words.
+	fixed := s.Checkpoints()
+	if fixed != 7 {
+		t.Fatalf("fixed-grid checkpoints = %d, want 7", fixed)
+	}
+	// Truncate 16 words deep, then regrow to the same length: the band
+	// opens at 1024 bits and the regrown tail gets the dense interval.
+	x.Truncate(48 * 64)
+	if got := s.RewindBand(); got != 16*64 {
+		t.Fatalf("band after 16-word truncation = %d, want %d", got, 16*64)
+	}
+	for i := 0; i < 16; i++ {
+		x.AppendUint(rng.Uint64(), 64)
+	}
+	if got, want := s.HashPrefix(x.Len()), h.HashPrefix(x, x.Len(), ref, base); got != want {
+		t.Fatalf("post-regrow hash %#x != reference %#x", got, want)
+	}
+	dense := s.Checkpoints()
+	if dense <= fixed {
+		t.Fatalf("adaptive spacing laid %d checkpoints, want more than the fixed grid's %d", dense, fixed)
+	}
+	// A truncation landing inside the band resumes from a dense
+	// checkpoint: the surviving count must exceed what the fixed grid
+	// would keep at the same cut (6 checkpoints cover ≤ 50 words).
+	x.Truncate(51 * 64)
+	if got := s.Checkpoints(); got <= 6 {
+		t.Fatalf("surviving checkpoints after in-band truncation = %d, want > 6", got)
+	}
+	if got, want := s.HashPrefix(x.Len()), h.HashPrefix(x, x.Len(), ref, base); got != want {
+		t.Fatalf("post-in-band-truncation hash %#x != reference %#x", got, want)
+	}
+	// Shallow rewinds decay the band toward the recent depth regime.
+	before := s.RewindBand()
+	for i := 0; i < 4; i++ {
+		x.Truncate(x.Len() - 64)
+		x.AppendUint(rng.Uint64(), 64)
+		s.HashPrefix(x.Len())
+	}
+	if got := s.RewindBand(); got >= before {
+		t.Fatalf("band did not decay under shallow rewinds: %d -> %d", before, got)
+	}
+}
+
 // TestCheckpointedResumesAndInvalidates pins the checkpoint lifecycle:
 // evaluations extend the checkpoint frontier as the vector grows, a
 // truncation drops exactly the checkpoints above the rollback point, and

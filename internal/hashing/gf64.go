@@ -2,6 +2,47 @@
 // schemes: the inner-product hash family of Definition 2.2, δ-biased
 // pseudorandom strings in the style of Naor–Naor / AGHP (Lemma 2.5), and
 // seed streams addressing per-(iteration, link, slot) seed blocks.
+//
+// # Collision bounds under seed reuse (Lemma 2.3 and epoch refresh)
+//
+// With fresh seeds every iteration (SeedLayout.Offset, the paper's
+// layout), each of the C = iterations × links × 3 hash comparisons
+// collides on unequal inputs independently with probability at most
+// 2^-τ + δ, so a union bound — Lemma 2.3 — caps the probability of any
+// spurious agreement during the run at C·(2^-τ + δ).
+//
+// The incremental evaluator (Checkpointed) reuses one rewind-stable seed
+// block (SeedLayout.StableOffset) for the prefix slots across all
+// iterations, which is what lets partial accumulators survive between
+// checks. The price is persistence: a pair of divergent prefixes that
+// collides under the stable seed collides at *every* subsequent check
+// until one side's prefix changes, so collision events are no longer
+// independent across iterations and the union bound degrades from "per
+// check" to "per distinct compared pair" — a weaker guarantee when the
+// meeting-points counters revisit the same pair many times.
+//
+// Epoch refresh restores a quantitative bound. Re-deriving the stable
+// block every R iterations (SeedLayout.EpochOffset; Checkpointed.SetBlock
+// rebases the store at Θ(|T|) for one post-refresh sweep, amortized
+// Θ(|T|/R) per iteration) makes any colliding pair persist for at most R
+// consecutive checks: within an epoch the seed is fixed, across epochs
+// the seeds are distinct blocks of the δ-biased stream, so collisions in
+// different epochs are (δ-close to) independent. Grouping the C checks
+// into ⌈C/R⌉ epoch-pair classes, the probability that any class ever
+// collides is at most C·(2^-τ + δ) exactly as in Lemma 2.3 — but a
+// single bad event now taints at most R checks instead of the whole run,
+// so the expected number of corrupted checks is bounded by
+// R·C·(2^-τ + δ). Equivalently: to recover the fresh-seed bound on
+// corrupted checks, grow the output length from τ to τ + log₂R. The
+// perf-optimal default R = 256 (see core.DefaultEpochRefresh) spends
+// log₂256 = 8 bits — as much as Alg1/A's default τ, so at default
+// parameters the refresh acts as a persistence cap (collisions self-heal
+// within R checks instead of surviving the run) rather than a restored
+// union bound; R ≤ 2^(τ-3), or Algorithm B's τ = Θ(log m), keeps the
+// quantitative bound too. The parameters are exposed (τ via
+// InnerProductHash.Tau, R via the caller's refresh interval, δ via the
+// AGHP source's stream extent — see EpochsFit) so harnesses can check
+// the bound for their own configurations.
 package hashing
 
 import "math/bits"

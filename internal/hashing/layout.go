@@ -71,3 +71,35 @@ func (l *SeedLayout) RegionsDisjoint(iters int) bool {
 	}
 	return l.Offset(iters, SlotK) <= stableBase
 }
+
+// EpochOffset returns the first seed word of the refresh block for slot s
+// in epoch e. Epoch-refresh hashing (see Checkpointed.SetBlock and the
+// package doc's union-bound discussion) re-derives the prefix-hash seed
+// block every R iterations; each epoch gets its own numSlots-wide block
+// laid out contiguously above stableBase, so epoch 0 coincides exactly
+// with StableOffset — a run whose budget fits inside one epoch hashes
+// bit-identically to the always-stable layout. As with Offset and
+// StableOffset, both endpoints of a link compute the same offsets over
+// the same stream, so their per-epoch hash evaluations agree.
+func (l *SeedLayout) EpochOffset(s Slot, epoch int) uint64 {
+	if epoch < 0 {
+		epoch = 0
+	}
+	block := l.hash.SeedWords()
+	return stableBase + (uint64(epoch)*uint64(numSlots)+uint64(s))*block
+}
+
+// EpochsFit reports whether epochs refresh epochs keep the epoch region
+// within its bias budget. The region may extend to 4·stableBase = 2^36
+// words (stream bit ~2^42): the AGHP source's bias there is
+// δ ≤ 2^42/2^64 = 2^-22, still below every per-check collision
+// probability 2^-τ the schemes configure, by the same argument that
+// sized stableBase itself. Like RegionsDisjoint, this turns an
+// over-budget configuration into a loud construction-time error instead
+// of a silent bias regression.
+func (l *SeedLayout) EpochsFit(epochs int) bool {
+	if epochs < 1 {
+		return true
+	}
+	return uint64(epochs)*uint64(numSlots)*l.hash.SeedWords() <= 3*stableBase
+}

@@ -250,6 +250,34 @@ type Result = core.Result
 // Params exposes the full scheme parameterization for advanced use.
 type Params = core.Params
 
+// HashMode selects the prefix-hash seed discipline of the meeting-points
+// consistency checks; see the core constants for the trade-offs. The zero
+// value is HashEpoch — the epoch-refresh fast path — so an unset field
+// means the default mode.
+type HashMode = core.HashMode
+
+// The three hash modes: epoch-refresh (default — incremental cost, with
+// the seed block re-derived every EpochRefresh iterations so collisions
+// cannot persist), the paper-faithful per-iteration reseeding, and the
+// never-refreshed incremental opt-in.
+const (
+	HashEpoch       = core.HashEpoch
+	HashLegacy      = core.HashLegacy
+	HashIncremental = core.HashIncremental
+)
+
+// DefaultEpochRefresh is the default refresh interval R of HashEpoch, in
+// iterations (see PERF.md for the sweep behind the value).
+const DefaultEpochRefresh = core.DefaultEpochRefresh
+
+// HashModeConflictError reports a deprecated IncrementalHash bool set
+// alongside a contradictory HashMode.
+type HashModeConflictError = core.HashModeConflictError
+
+// ParseHashMode maps the conventional mode names ("epoch", "legacy",
+// "incremental"; empty selects the default) to a HashMode.
+func ParseHashMode(s string) (HashMode, error) { return core.ParseHashMode(s) }
+
 // WhiteBoxStats reports the Section 6.1 collision attacker's bookkeeping
 // when Scenario.WhiteBoxRate (or core's Options.WhiteBoxRate) was set.
 type WhiteBoxStats = core.WhiteBoxStats

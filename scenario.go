@@ -390,8 +390,20 @@ type Scenario struct {
 	Faithful bool
 	// Parallel enables the concurrent network executor.
 	Parallel bool
+	// HashMode selects the prefix-hash seed discipline (zero value:
+	// HashEpoch, the epoch-refresh fast path). HashLegacy restores the
+	// paper-faithful per-iteration reseeding; HashIncremental the
+	// never-refreshed incremental opt-in. See core.Params.HashMode.
+	HashMode HashMode
+	// EpochRefresh is the refresh interval R of HashEpoch in iterations
+	// (0 selects DefaultEpochRefresh; ignored by the other modes).
+	EpochRefresh int
 	// IncrementalHash routes the meeting-points prefix hashes through
-	// rewind-aware incremental checkpoints; see Config.IncrementalHash.
+	// rewind-aware incremental checkpoints.
+	//
+	// Deprecated: set HashMode to HashIncremental instead. The bool keeps
+	// working on its own; combined with a contradictory HashMode it is a
+	// HashModeConflictError.
 	IncrementalHash bool
 	// WhiteBoxRate, if positive, replaces Noise with the seed-aware
 	// collision attacker of Section 6.1 at the given rate.
@@ -471,6 +483,8 @@ func (sc Scenario) options() (core.Options, error) {
 	if sc.Faithful {
 		params.EarlyStop = false
 	}
+	params.HashMode = sc.HashMode
+	params.EpochRefresh = sc.EpochRefresh
 	params.IncrementalHash = sc.IncrementalHash
 	if sc.Tune != nil {
 		sc.Tune(&params)
