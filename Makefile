@@ -1,12 +1,14 @@
 # Verification entry points. `make verify` is the PR gate: the tier-1
 # suite (build, vet, test) plus a race-detector pass with GOMAXPROCS
 # forced to 4, so the persistent parallel round engine, the incremental
-# checkpoint store, AND the streaming parallel grid engine (package mpic:
-# Runner.RunGrid / Sweep workers sharing one arena) get real concurrency
-# coverage even on single-CPU boxes (where the worker pools would
-# otherwise stay at width 1 and races could hide), plus an explicit
-# build/vet/test pass over examples/ so the public Scenario/Runner API
-# cannot drift from its documented usage.
+# checkpoint store, the elastic core-budget scheduler, AND the streaming
+# parallel grid engine (package mpic: Runner.RunGrid / Sweep workers
+# sharing one arena) get real concurrency coverage even on single-CPU
+# boxes (where the worker pools would otherwise stay at width 1 and
+# races could hide), plus an explicit build/vet/test pass over examples/
+# so the public Scenario/Runner API cannot drift from its documented
+# usage, plus cross-GOARCH and purego builds so the arch-gated hash
+# kernels cannot silently break platforms this box does not run.
 
 GO ?= go
 
@@ -18,9 +20,9 @@ SWEEP_PARALLEL ?= 0
 # persisted, and re-running the same grid resumes instead of restarting.
 SWEEP_CHECKPOINT ?= SWEEP.ckpt.json
 
-.PHONY: verify tier1 race examples bench bench-epoch compare sweep cover chaos lint serve-e2e
+.PHONY: verify tier1 race examples bench bench-epoch bench-kernel compare sweep cover chaos lint serve-e2e crossbuild
 
-verify: tier1 lint race examples
+verify: tier1 lint race examples crossbuild
 
 tier1:
 	$(GO) build ./...
@@ -38,6 +40,18 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 	$(GO) test -count=1 ./examples/...
+
+# Every GOARCH with a hand-written hash kernel, plus the purego escape
+# hatch, must keep compiling and vetting no matter which box edits the
+# dispatch layer. `go vet` assembles the .s files, so a broken NEON or
+# AVX2 kernel fails here even though only one arch can *run* natively.
+crossbuild:
+	GOARCH=amd64 $(GO) build ./...
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=arm64 $(GO) vet ./internal/hashing/
+	$(GO) build -tags purego ./...
+	$(GO) vet -tags purego ./internal/hashing/
+	$(GO) test -tags purego -count=1 ./internal/hashing/
 
 # Static analysis beyond `go vet`: staticcheck when installed, with a
 # loud fallback to a second vet pass so `make verify` never silently
@@ -67,10 +81,18 @@ bench:
 bench-epoch:
 	$(GO) test -run '^$$' -bench 'BenchmarkEpochRefresh' -benchmem .
 
+# The τ-row sweep kernels head to head (reference vs batched vs the
+# arch vector path) across τ and transcript sizes — the PERF.md kernel
+# micro table.
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelSweep' -benchmem ./internal/hashing/
+
 # Regenerate the experiment artefact and gate it against the previous
 # PR's (fails on >10% regression in wall clock or heap allocations).
+# -repeat 3 stamps the artefact with median-of-three timings so a single
+# preempted run cannot flap the gate (the PR 9 BENCH_PR8 regeneration).
 compare:
-	$(GO) run ./cmd/mpicbench -quick -json BENCH_PR9.json -compare BENCH_PR8.json
+	$(GO) run ./cmd/mpicbench -quick -repeat 3 -json BENCH_PR10.json -compare BENCH_PR9.json
 
 # The grid service end to end: submit over HTTP, shard across workers,
 # stream progress over SSE, survive a restart mid-grid, and release

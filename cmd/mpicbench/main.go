@@ -20,6 +20,18 @@
 // absolute guard against timer noise on sub-25ms experiments). Artefacts
 // produced before wall-clock stamping existed compare as "n/a".
 //
+// The -repeat flag runs the experiment tables N times and stamps each
+// table with the median ElapsedMS and Allocs across the runs, so the
+// artefact fed to -json/-compare carries a timing that same-binary
+// scheduler noise cannot flap by ±10%:
+//
+//	mpicbench -experiment all -quick -repeat 3 -json BENCH_PR10.json
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of the
+// experiment run, so a claimed hot-path win can be verified against the
+// actual flame graph. Profiling skews wall clock, so — exactly like
+// -checkpoint — these flags do not combine with -json or -compare.
+//
 // The -sweep flag switches the command to a streaming grid run instead
 // of the named experiments: a cartesian product over party counts,
 // schemes and noise rates, executed by the parallel grid engine
@@ -68,6 +80,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"mpic"
@@ -102,6 +117,9 @@ func run(args []string) error {
 		jsonPath = fs.String("json", "", "also write results as JSON to this file (e.g. BENCH_PR2.json)")
 		compare  = fs.String("compare", "", "prior JSON artefact to compare against (e.g. BENCH_PR1.json); exits non-zero on >10% wall-clock regression")
 		ckptDir  = fs.String("checkpoint", "", "experiment mode: directory of resumable per-grid checkpoints (interrupted tables resume instead of restarting; not combinable with -json/-compare, whose timings assume fresh runs)")
+		repeat   = fs.Int("repeat", 1, "experiment mode: run the tables this many times and report the median ElapsedMS/Allocs (cuts same-binary timer noise out of the -compare gate)")
+		cpuProf  = fs.String("cpuprofile", "", "experiment mode: write a CPU profile to this file (not combinable with -json/-compare, whose timings assume unprofiled runs)")
+		memProf  = fs.String("memprofile", "", "experiment mode: write a heap profile to this file after the tables finish (not combinable with -json/-compare)")
 		retries  = fs.Int("retries", 0, "re-run a failed grid cell up to this many extra times (deterministic backoff; retried results are bit-identical)")
 		failFast = fs.Bool("fail-fast", true, "sweep mode: stop on the first failed cell; =false quarantines failed cells, finishes the grid, and exits with code 3")
 
@@ -153,7 +171,7 @@ func run(args []string) error {
 			switch fl.Name {
 			case "sweep-rates":
 				ratesSet = true
-			case "json", "compare", "experiment", "quick", "checkpoint":
+			case "json", "compare", "experiment", "quick", "checkpoint", "repeat", "cpuprofile", "memprofile":
 				// Dropping these silently would un-gate CI jobs modeled on
 				// `make compare` (or leave a -quick grid running at full
 				// cost); reject the combination loudly instead.
@@ -183,23 +201,66 @@ func run(args []string) error {
 		// loudly, exactly like sweep mode rejects its artefact flags.
 		return fmt.Errorf("-checkpoint resumes tables with non-comparable wall-clock timings; it does not combine with -json/-compare")
 	}
-	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Checkpoint: *ckptDir, Retries: *retries}
-	var tables []*experiments.Table
-	if *name == "all" {
-		all, err := experiments.RunAll(cfg)
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
+	}
+	if *repeat > 1 && *ckptDir != "" {
+		// Every repetition after the first would restore the checkpointed
+		// tables in near-zero wall clock, so the "median" would be a replay
+		// timing — the exact poison -repeat exists to remove.
+		return fmt.Errorf("-repeat re-runs tables for median timings; it does not combine with -checkpoint, which replays finished tables")
+	}
+	if (*cpuProf != "" || *memProf != "") && (*jsonPath != "" || *compare != "") {
+		// A profiled run's wall clock carries the profiler's overhead:
+		// written to a -json artefact it poisons the next baseline, and fed
+		// to -compare it trips (or hides) the regression gate. Same
+		// rejection shape as -checkpoint.
+		return fmt.Errorf("profiling skews wall-clock timings; -cpuprofile/-memprofile do not combine with -json/-compare")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
 		if err != nil {
-			return err
+			return fmt.Errorf("creating %s: %w", *cpuProf, err)
 		}
-		tables = all
-	} else {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed, Quick: *quick, Checkpoint: *ckptDir, Retries: *retries}
+	collect := func() ([]*experiments.Table, error) {
+		if *name == "all" {
+			return experiments.RunAll(cfg)
+		}
 		t, err := experiments.Run(*name, cfg)
 		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{t}, nil
+	}
+	runs := make([][]*experiments.Table, 0, *repeat)
+	for r := 0; r < *repeat; r++ {
+		ts, err := collect()
+		if err != nil {
 			return err
 		}
-		tables = append(tables, t)
+		runs = append(runs, ts)
 	}
+	tables := medianTables(runs)
 	for _, t := range tables {
 		fmt.Println(t.Markdown())
+	}
+	if *repeat > 1 {
+		fmt.Printf("*ElapsedMS/Allocs are medians over %d runs*\n\n", *repeat)
+	}
+	if *memProf != "" {
+		if err := writeHeapProfile(*memProf); err != nil {
+			return err
+		}
 	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, tables); err != nil {
@@ -212,6 +273,52 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// medianTables collapses N repeated runs into one table set: the first
+// run's tables (rows are deterministic, so every run printed the same
+// ones) restamped with the median ElapsedMS and Allocs across the runs.
+// The median — not the mean — is what de-flaps the -compare gate: one
+// run preempted by the scheduler moves the mean but not the median.
+func medianTables(runs [][]*experiments.Table) []*experiments.Table {
+	tables := runs[0]
+	if len(runs) == 1 {
+		return tables
+	}
+	for i, t := range tables {
+		ms := make([]float64, len(runs))
+		allocs := make([]uint64, len(runs))
+		for j, run := range runs {
+			ms[j] = run[i].ElapsedMS
+			allocs[j] = run[i].Allocs
+		}
+		sort.Float64s(ms)
+		sort.Slice(allocs, func(a, b int) bool { return allocs[a] < allocs[b] })
+		n := len(runs)
+		if n%2 == 1 {
+			t.ElapsedMS = ms[n/2]
+			t.Allocs = allocs[n/2]
+		} else {
+			t.ElapsedMS = (ms[n/2-1] + ms[n/2]) / 2
+			t.Allocs = (allocs[n/2-1] + allocs[n/2]) / 2
+		}
+	}
+	return tables
+}
+
+// writeHeapProfile snapshots the heap after a GC so the profile shows
+// live retention rather than garbage awaiting collection.
+func writeHeapProfile(path string) error {
+	runtime.GC()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing heap profile: %w", err)
+	}
+	return f.Close()
 }
 
 func writeJSON(path string, tables []*experiments.Table) error {

@@ -178,6 +178,106 @@ func TestRunRetryFlags(t *testing.T) {
 	}
 }
 
+// TestRunRepeatMedian pins the -repeat contract: the artefact carries a
+// usable median timing, the flag composes with -json/-compare (cutting
+// compare-gate noise is its entire purpose), and the nonsensical
+// combinations are rejected.
+func TestRunRepeatMedian(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1",
+		"-repeat", "3", "-json", first}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []*experiments.Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ElapsedMS <= 0 || tables[0].Allocs == 0 {
+		t.Fatalf("repeated artefact missing median stamps: %+v", tables[0])
+	}
+	// The whole point: -repeat feeds the -compare gate.
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1",
+		"-repeat", "2", "-compare", first}); err != nil {
+		t.Fatalf("repeated comparison run failed: %v", err)
+	}
+	if err := run([]string{"-repeat", "0"}); err == nil || !strings.Contains(err.Error(), "at least 1") {
+		t.Errorf("-repeat 0: got %v", err)
+	}
+	if err := run([]string{"-sweep", "-repeat", "2"}); err == nil {
+		t.Error("-repeat in sweep mode accepted")
+	}
+	if err := run([]string{"-experiment", "rewind-wave", "-repeat", "2",
+		"-checkpoint", dir}); err == nil || !strings.Contains(err.Error(), "replays") {
+		t.Errorf("-repeat with -checkpoint: got %v", err)
+	}
+}
+
+// TestMedianTables pins the aggregation itself: odd counts take the
+// middle run, even counts the midpoint of the middle two, and the rows
+// come from the first run untouched.
+func TestMedianTables(t *testing.T) {
+	mk := func(ms float64, allocs uint64) []*experiments.Table {
+		return []*experiments.Table{{ID: "E-1", Rows: [][]string{{"r"}}, ElapsedMS: ms, Allocs: allocs}}
+	}
+	odd := medianTables([][]*experiments.Table{mk(90, 10), mk(500, 70), mk(100, 30)})
+	if odd[0].ElapsedMS != 100 || odd[0].Allocs != 30 {
+		t.Fatalf("odd median = %.1fms/%d allocs, want 100/30", odd[0].ElapsedMS, odd[0].Allocs)
+	}
+	if len(odd[0].Rows) != 1 {
+		t.Fatalf("median dropped the rows: %+v", odd[0])
+	}
+	even := medianTables([][]*experiments.Table{mk(100, 20), mk(200, 40)})
+	if even[0].ElapsedMS != 150 || even[0].Allocs != 30 {
+		t.Fatalf("even median = %.1fms/%d allocs, want 150/30", even[0].ElapsedMS, even[0].Allocs)
+	}
+	single := medianTables([][]*experiments.Table{mk(42, 7)})
+	if single[0].ElapsedMS != 42 || single[0].Allocs != 7 {
+		t.Fatalf("repeat=1 must pass through: %+v", single[0])
+	}
+}
+
+// TestRunProfileFlags pins the pprof satellites: both profiles land on
+// disk non-empty, and — like -checkpoint — they refuse to stamp the
+// -json/-compare artefact path with profiler-skewed timings.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	for _, extra := range [][]string{
+		{"-cpuprofile", cpu, "-json", filepath.Join(dir, "x.json")},
+		{"-memprofile", mem, "-compare", "BENCH_PR9.json"},
+	} {
+		args := append([]string{"-experiment", "rewind-wave", "-quick", "-trials", "1"}, extra...)
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "skews") {
+			t.Errorf("%v: got %v, want profiling rejection", extra, err)
+		}
+	}
+	if err := run([]string{"-sweep", "-cpuprofile", cpu}); err == nil {
+		t.Error("-cpuprofile in sweep mode accepted")
+	}
+	if err := run([]string{"-sweep", "-memprofile", mem}); err == nil {
+		t.Error("-memprofile in sweep mode accepted")
+	}
+}
+
 // failWireNoise is a rate-parameterized noise family whose wiring
 // always errors — it drives the sweep sink's failure path without
 // touching the engine.

@@ -1,0 +1,112 @@
+package mpic
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mpic/internal/cores"
+)
+
+// TestGridElasticSplitIdentical pins the elastic worker split end to
+// end: a grid of Parallel scenarios run sequentially (Workers=1, so the
+// lone cell worker leaves most of the core budget spare for round
+// pools) and at full width (Workers=GOMAXPROCS, so heavy rounds mostly
+// find the budget saturated and run on their own core) must produce
+// bit-identical cells — the budget moves wall clock, never results. The
+// occupancy snapshots must show the round engines actually consulted
+// the budget and returned every borrowed token.
+func TestGridElasticSplitIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	sw := Sweep{
+		Base: Scenario{
+			Topology:   Line(5),
+			Workload:   RandomTraffic(48),
+			Noise:      RandomNoise(0.002),
+			Seed:       11,
+			IterFactor: 12,
+			Parallel:   true,
+		},
+		N:       []int{4, 5, 6},
+		Schemes: []Scheme{AlgorithmA, Algorithm1},
+		Trials:  2,
+	}
+
+	runAt := func(workers int) ([]SweepCell, cores.Stats) {
+		t.Helper()
+		runner := NewRunner()
+		defer runner.Close()
+		sw := sw
+		sw.Workers = workers
+		cells, err := runner.Sweep(context.Background(), sw)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		return cells, runner.gridPoolStats()
+	}
+
+	seq, seqStats := runAt(1)
+	par, parStats := runAt(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("elastic grid cells differ between Workers=1 and Workers=4:\n%+v\nvs\n%+v", seq, par)
+	}
+	for _, st := range []cores.Stats{seqStats, parStats} {
+		if st.Total != 4 {
+			t.Fatalf("budget sized %d, want GOMAXPROCS=4 (%+v)", st.Total, st)
+		}
+		if st.Borrows == 0 {
+			t.Fatalf("no heavy round ever consulted the budget (%+v)", st)
+		}
+		if st.Held != 0 {
+			t.Fatalf("%d tokens still out after the grid (%+v)", st.Held, st)
+		}
+	}
+	// A lone cell worker leaves three spare cores: its heavy rounds must
+	// actually receive helpers.
+	if seqStats.Granted == 0 {
+		t.Fatalf("Workers=1 grid got no helper cores (%+v)", seqStats)
+	}
+}
+
+// BenchmarkGridElastic measures the two parallel engines sharing one
+// core budget: a grid of Parallel scenarios at full worker width
+// (Workers = GOMAXPROCS). Run with -cpu 1,4,8 for the PERF.md elastic
+// table — at -cpu 1 the budget is a single token (every borrow denied,
+// pure sequential), while wider settings split the machine between cell
+// workers and round pools. The occ metric is helper cores granted per
+// borrow attempt (0 = round pools starved, higher = spare cores really
+// flowed to heavy rounds).
+func BenchmarkGridElastic(b *testing.B) {
+	sw := Sweep{
+		Base: Scenario{
+			Topology:   Line(5),
+			Workload:   RandomTraffic(48),
+			Noise:      RandomNoise(0.002),
+			Seed:       11,
+			IterFactor: 12,
+			Parallel:   true,
+		},
+		N:       []int{4, 5, 6},
+		Schemes: []Scheme{AlgorithmA, Algorithm1},
+		Trials:  2,
+	}
+	runner := NewRunner()
+	defer runner.Close()
+	var borrows, granted int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Sweep(context.Background(), sw); err != nil {
+			b.Fatal(err)
+		}
+		st := runner.gridPoolStats()
+		borrows += st.Borrows
+		granted += st.Granted
+	}
+	b.StopTimer()
+	if borrows > 0 {
+		b.ReportMetric(float64(granted)/float64(borrows), "occ")
+	}
+}

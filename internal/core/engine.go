@@ -8,6 +8,7 @@ import (
 
 	"mpic/internal/adversary"
 	"mpic/internal/channel"
+	"mpic/internal/cores"
 	"mpic/internal/ecc"
 	"mpic/internal/graph"
 	"mpic/internal/hashing"
@@ -73,6 +74,14 @@ type Options struct {
 	// Arena, if non-nil, supplies recycled per-link hash buffers and gets
 	// them back when the run ends (see Arena).
 	Arena *Arena
+	// CoreBudget, if non-nil, is the shared core-budget token pool the
+	// run's parallel send executor borrows helper cores from (the elastic
+	// worker split: a grid sizes one budget at GOMAXPROCS, each cell
+	// worker holds a token, and spare tokens flow to whichever cell hits
+	// a heavy round). Only consulted when Parallel is set; results are
+	// bit-identical at any borrow outcome. Nil lets a parallel run assume
+	// it owns the machine.
+	CoreBudget *cores.Budget
 }
 
 // WhiteBoxStats reports the collision attacker's bookkeeping.
@@ -263,6 +272,9 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 	eng.Parallel = opts.Parallel
+	if opts.CoreBudget != nil {
+		eng.SetCoreBudget(opts.CoreBudget)
+	}
 	defer eng.Close()
 	if opts.Delay != nil || opts.NetFaults != nil {
 		var wired *network.WiredFaults

@@ -1,0 +1,119 @@
+// Package cores provides the shared core-budget token pool that lets the
+// two parallel engines stop fighting over CPUs: the grid cell pool
+// (Runner.RunGrid workers, one token held per live worker) and the
+// round-level send pool inside each run (internal/network's Engine,
+// which borrows whatever is spare for its heavy rounds and returns it
+// immediately after). One Budget sized at GOMAXPROCS arbitrates a whole
+// grid: while every core is busy running a cell, rounds execute
+// sequentially inside each cell — exactly as fast as dedicating the
+// cores to cells — and as the grid drains and cell workers exit, their
+// tokens flow to the surviving cells' round pools, so the tail of the
+// grid finishes on all cores instead of one. Token accounting never
+// affects results: the round engine is bit-identical at any pool width,
+// so the Budget only decides how fast answers arrive.
+package cores
+
+import "sync/atomic"
+
+// Budget is a token pool over a fixed number of cores. The zero value is
+// unusable; a nil *Budget is inert (every Try returns 0), which is how
+// single-run paths opt out. All methods are safe for concurrent use.
+type Budget struct {
+	total int64
+	held  atomic.Int64
+
+	// Occupancy counters (Stats): how often spare cores were sought for a
+	// heavy round, and how many flowed.
+	borrows atomic.Int64
+	granted atomic.Int64
+	denied  atomic.Int64
+}
+
+// NewBudget returns a budget of total tokens (clamped to at least 1 —
+// the caller's own core always exists).
+func NewBudget(total int) *Budget {
+	if total < 1 {
+		total = 1
+	}
+	return &Budget{total: int64(total)}
+}
+
+// Total returns the budget's capacity in tokens.
+func (b *Budget) Total() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.total)
+}
+
+// Acquire debits n tokens unconditionally. Long-lived holders — grid
+// cell workers, which each own the core they run on — use this: the
+// debit may push the pool past its capacity (workers beyond GOMAXPROCS
+// just mean no spare ever shows), it only ever reduces what TryAcquire
+// can hand out. Nil-safe no-op.
+func (b *Budget) Acquire(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.held.Add(int64(n))
+}
+
+// TryAcquire grabs up to max spare tokens without blocking and returns
+// how many it got (possibly 0 — the caller then proceeds on its own
+// core). Short-lived borrowers — a round engine's send pool, for the
+// duration of one heavy round — use this. Nil-safe: returns 0.
+func (b *Budget) TryAcquire(max int) int {
+	if b == nil || max <= 0 {
+		return 0
+	}
+	b.borrows.Add(1)
+	for {
+		h := b.held.Load()
+		spare := b.total - h
+		if spare <= 0 {
+			b.denied.Add(1)
+			return 0
+		}
+		take := spare
+		if take > int64(max) {
+			take = int64(max)
+		}
+		if b.held.CompareAndSwap(h, h+take) {
+			b.granted.Add(take)
+			return int(take)
+		}
+	}
+}
+
+// Release returns n tokens to the pool. Nil-safe no-op.
+func (b *Budget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.held.Add(int64(-n))
+}
+
+// Stats is a point-in-time occupancy snapshot.
+type Stats struct {
+	// Total is the budget capacity; Held is how many tokens are out.
+	Total, Held int
+	// Borrows counts TryAcquire calls (heavy rounds that sought spare
+	// cores), Granted the tokens they received in aggregate, and Denied
+	// the calls that got nothing — the rounds that ran sequentially
+	// because every core was already running a grid cell.
+	Borrows, Granted, Denied int64
+}
+
+// Stats returns the budget's occupancy counters. Nil-safe: zero Stats.
+func (b *Budget) Stats() Stats {
+	if b == nil {
+		return Stats{}
+	}
+	return Stats{
+		Total:   int(b.total),
+		Held:    int(b.held.Load()),
+		Borrows: b.borrows.Load(),
+		Granted: b.granted.Load(),
+		Denied:  b.denied.Load(),
+	}
+}

@@ -1,0 +1,82 @@
+package cores
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetBasics(t *testing.T) {
+	b := NewBudget(4)
+	if b.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", b.Total())
+	}
+	b.Acquire(1) // long-lived holder
+	if got := b.TryAcquire(8); got != 3 {
+		t.Fatalf("TryAcquire(8) = %d, want the 3 spares", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on an exhausted budget = %d, want 0", got)
+	}
+	b.Release(3)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) after release = %d, want 2", got)
+	}
+	b.Release(2)
+	b.Release(1)
+	st := b.Stats()
+	if st.Held != 0 || st.Total != 4 {
+		t.Fatalf("final stats %+v: want all tokens home", st)
+	}
+	if st.Borrows != 3 || st.Granted != 5 || st.Denied != 1 {
+		t.Fatalf("counters %+v: want 3 borrows, 5 granted, 1 denied", st)
+	}
+}
+
+func TestBudgetNilAndClamps(t *testing.T) {
+	var b *Budget
+	if b.TryAcquire(4) != 0 || b.Total() != 0 {
+		t.Fatal("nil budget must be inert")
+	}
+	b.Acquire(1) // must not panic
+	b.Release(1)
+	if st := b.Stats(); st != (Stats{}) {
+		t.Fatalf("nil budget stats %+v, want zero", st)
+	}
+	if NewBudget(0).Total() != 1 {
+		t.Fatal("budget must clamp to at least one core")
+	}
+	nb := NewBudget(2)
+	if nb.TryAcquire(0) != 0 || nb.TryAcquire(-1) != 0 {
+		t.Fatal("non-positive TryAcquire must return 0")
+	}
+}
+
+// TestBudgetConcurrent hammers the pool from many goroutines (run under
+// -race via make race): tokens must never oversubscribe and must all
+// come home.
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				got := b.TryAcquire(3)
+				if got > 3 {
+					t.Errorf("TryAcquire(3) granted %d", got)
+					return
+				}
+				b.Release(got)
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Held != 0 {
+		t.Fatalf("%d tokens still out after all releases", st.Held)
+	}
+	if st.Granted == 0 {
+		t.Fatal("no tokens ever granted under contention")
+	}
+}

@@ -268,31 +268,53 @@ func (s *Checkpointed) HashPrefix(nbits int) uint64 {
 			bandStart = 0
 		}
 	}
-	for i := start; i < nw; i++ {
-		if i > 0 && i >= frontier+s.stepAt(i, bandStart) {
-			// acc covers exactly words [0, i) of x, all of them complete
-			// (i ≤ nw-1 < ⌈Len/64⌉) and unmasked: snapshot.
-			s.pushCheckpoint(acc[:tau], i)
-			frontier = i
+	// Segmented sweep: run whole checkpoint-free stretches through the
+	// dispatched τ-row kernel (see kernel.go) and snapshot only at the
+	// segment boundaries. nextPush gives the first word at or past which
+	// the per-word schedule would have snapshotted — frontier+spacing on
+	// the sparse grid, with the dense interval taking over at bandStart —
+	// so the checkpoint positions are bit-for-bit the ones the original
+	// word-at-a-time loop produced (the spacing pin tests hold this).
+	for i := start; i < nw; {
+		p := s.nextPush(frontier, bandStart)
+		if p < nw {
+			// acc after the sweep covers exactly words [0, p) of x, all of
+			// them complete (p ≤ nw-1 < ⌈Len/64⌉) and unmasked: snapshot.
+			kernelSweep(&acc, xw[i:p], buf[i*tau:], tau)
+			s.pushCheckpoint(acc[:tau], p)
+			frontier = p
+			i = p
+			continue
 		}
-		w := xw[i]
-		if i == nw-1 {
-			w &= tailMask
-		}
-		for j, sw := range buf[i*tau : i*tau+tau] {
+		// Final segment: kernel over the complete words, then the
+		// tail-masked last word (kernels only ever see complete words).
+		kernelSweep(&acc, xw[i:nw-1], buf[i*tau:], tau)
+		w := xw[nw-1] & tailMask
+		for j, sw := range buf[(nw-1)*tau : nw*tau] {
 			acc[j] ^= w & sw
 		}
+		break
 	}
 	return foldParity(acc[:tau])
 }
 
-// stepAt returns the checkpoint interval in effect at word i: the dense
-// interval inside the rewind band, the base spacing below it.
-func (s *Checkpointed) stepAt(i, bandStart int) int {
-	if i >= bandStart {
-		return s.fine
+// nextPush returns the first word index at which the checkpoint schedule
+// snapshots, given the current frontier: the next sparse-grid point
+// frontier+spacing, unless that lands at or past the rewind band's start,
+// where the dense interval takes over — the first dense point at or past
+// bandStart. This is exactly the first i > frontier satisfying the
+// per-word trigger i >= frontier + (fine if i >= bandStart else spacing),
+// and it is always strictly past the frontier (fine >= 1), so the
+// segmented sweep makes progress.
+func (s *Checkpointed) nextPush(frontier, bandStart int) int {
+	p := frontier + s.spacing
+	if p >= bandStart {
+		p = frontier + s.fine
+		if p < bandStart {
+			p = bandStart
+		}
 	}
-	return s.spacing
+	return p
 }
 
 // pushCheckpoint appends the next checkpoint snapshot, covering words

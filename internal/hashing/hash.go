@@ -177,12 +177,12 @@ func foldParity(acc []uint64) uint64 {
 	return out
 }
 
-// hashWords is the devirtualized inner-product kernel: a transposed sweep
-// that loads each input word once and XORs it into all τ row accumulators,
-// reading the interleaved seed buffer strictly sequentially, then folds
-// each accumulator to its parity bit. Words of xw at positions >=
-// ⌈nbits/64⌉ are ignored and missing trailing words are treated as zero
-// (they contribute nothing to any inner product).
+// hashWords is the devirtualized inner-product sweep: all complete input
+// words go through the dispatched τ-row kernel (see kernel.go), the final
+// word is tail-masked and accumulated here so the kernels only ever see
+// complete words, and each accumulator folds to its parity bit. Words of
+// xw at positions >= ⌈nbits/64⌉ are ignored and missing trailing words
+// are treated as zero (they contribute nothing to any inner product).
 func (h *InnerProductHash) hashWords(xw []uint64, nbits int, c *BlockCache) uint64 {
 	nw, tailMask := h.sweepBounds(nbits, len(xw))
 	if nw == 0 {
@@ -192,14 +192,10 @@ func (h *InnerProductHash) hashWords(xw []uint64, nbits int, c *BlockCache) uint
 	tau := h.Tau
 	buf := c.buf
 	var acc [64]uint64
-	for i := 0; i < nw; i++ {
-		w := xw[i]
-		if i == nw-1 {
-			w &= tailMask
-		}
-		for j, sw := range buf[i*tau : i*tau+tau] {
-			acc[j] ^= w & sw
-		}
+	kernelSweep(&acc, xw[:nw-1], buf, tau)
+	w := xw[nw-1] & tailMask
+	for j, sw := range buf[(nw-1)*tau : nw*tau] {
+		acc[j] ^= w & sw
 	}
 	return foldParity(acc[:tau])
 }

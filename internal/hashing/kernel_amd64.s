@@ -1,0 +1,127 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func sweepAVX2(acc *[64]uint64, xw *uint64, n int, buf *uint64, tau int)
+//
+// τ-row accumulate over n complete input words against the interleaved
+// seed buffer (buf[i*tau+j] = word i of row j). Rows go eight at a time:
+// two 256-bit accumulators stay register-resident across the whole word
+// sweep, each input word is broadcast across the lanes once, and the
+// eight seed words for the row block sit contiguously at every stride
+// step — the access pattern PR 1's interleaved layout was designed for.
+// A four-row block and a scalar row loop mop up tau % 8. The caller
+// masks the final partial word before calling, so every word here is
+// complete; acc rows at index >= tau are never loaded or stored.
+//
+// Register plan: DI acc cursor, SI xw base, CX n, BX buf row-block
+// cursor, R8 row stride in bytes (tau*8), R9 rows remaining; the word
+// loops run on R12 (xw cursor), R11 (buf cursor), R13 (countdown).
+TEXT ·sweepAVX2(SB), NOSPLIT, $0-40
+	MOVQ  acc+0(FP), DI
+	MOVQ  xw+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVQ  buf+24(FP), BX
+	MOVQ  tau+32(FP), R9
+	TESTQ CX, CX
+	JE    done
+	MOVQ  R9, R8
+	SHLQ  $3, R8             // stride = tau*8 bytes
+
+block8:
+	CMPQ    R9, $8
+	JLT     block4
+	VMOVDQU (DI), Y0         // acc[j0..j0+3]
+	VMOVDQU 32(DI), Y1       // acc[j0+4..j0+7]
+	MOVQ    SI, R12
+	MOVQ    BX, R11
+	MOVQ    CX, R13
+
+words8:
+	VPBROADCASTQ (R12), Y2   // input word in all four lanes
+	VPAND        (R11), Y2, Y3
+	VPXOR        Y3, Y0, Y0
+	VPAND        32(R11), Y2, Y3
+	VPXOR        Y3, Y1, Y1
+	ADDQ         $8, R12
+	ADDQ         R8, R11
+	DECQ         R13
+	JNZ          words8
+
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, DI
+	ADDQ    $64, BX
+	SUBQ    $8, R9
+	JMP     block8
+
+block4:
+	CMPQ    R9, $4
+	JLT     rows1
+	VMOVDQU (DI), Y0
+	MOVQ    SI, R12
+	MOVQ    BX, R11
+	MOVQ    CX, R13
+
+words4:
+	VPBROADCASTQ (R12), Y2
+	VPAND        (R11), Y2, Y3
+	VPXOR        Y3, Y0, Y0
+	ADDQ         $8, R12
+	ADDQ         R8, R11
+	DECQ         R13
+	JNZ          words4
+
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, BX
+	SUBQ    $4, R9
+
+rows1:
+	TESTQ R9, R9
+	JE    done
+	MOVQ  (DI), R10
+	MOVQ  SI, R12
+	MOVQ  BX, R11
+	MOVQ  CX, R13
+
+words1:
+	MOVQ (R12), AX
+	ANDQ (R11), AX
+	XORQ AX, R10
+	ADDQ $8, R12
+	ADDQ R8, R11
+	DECQ R13
+	JNZ  words1
+
+	MOVQ R10, (DI)
+	ADDQ $8, DI
+	ADDQ $8, BX
+	DECQ R9
+	JMP  rows1
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+//
+// Reads XCR0. Callers must have verified OSXSAVE via CPUID first or this
+// instruction faults.
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,21 @@
+//go:build arm64 && !purego
+
+package hashing
+
+// sweepNEON is the NEON τ-row accumulate: rows four at a time in two
+// 128-bit register-resident accumulators, each input word broadcast
+// across the lanes once. Implemented in kernel_arm64.s.
+//
+//go:noescape
+func sweepNEON(acc *[64]uint64, xw *uint64, n int, buf *uint64, tau int)
+
+// archKernels returns the arm64 vector kernels. AdvSIMD (NEON) is
+// baseline on every AArch64 core, so no runtime feature probe is needed.
+func archKernels() []kernelImpl {
+	return []kernelImpl{{"neon", kernelArch}}
+}
+
+// archSweep is the kernelArch dispatch target on arm64.
+func archSweep(acc *[64]uint64, xw []uint64, buf []uint64, tau int) {
+	sweepNEON(acc, &xw[0], len(xw), &buf[0], tau)
+}

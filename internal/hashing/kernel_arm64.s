@@ -1,0 +1,97 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// func sweepNEON(acc *[64]uint64, xw *uint64, n int, buf *uint64, tau int)
+//
+// τ-row accumulate over n complete input words against the interleaved
+// seed buffer (buf[i*tau+j] = word i of row j). Rows go four at a time:
+// two 128-bit accumulators stay register-resident across the whole word
+// sweep, each input word is broadcast across both lanes once, and the
+// four seed words for the row block sit contiguously at every stride
+// step. A two-row block and a scalar final row mop up tau % 4. The
+// caller masks the final partial word before calling, so every word
+// here is complete; acc rows at index >= tau are never loaded or
+// stored.
+//
+// Register plan: R0 acc cursor, R1 xw base, R2 n, R3 buf row-block
+// cursor, R5 row stride in bytes (tau*8), R6 rows remaining; the word
+// loops run on R10 (xw cursor), R9 (buf cursor), R11 (countdown).
+TEXT ·sweepNEON(SB), NOSPLIT, $0-40
+	MOVD acc+0(FP), R0
+	MOVD xw+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD buf+24(FP), R3
+	MOVD tau+32(FP), R6
+	CBZ  R2, done
+	LSL  $3, R6, R5          // stride = tau*8 bytes
+
+block4:
+	CMP  $4, R6
+	BLT  block2
+	VLD1 (R0), [V0.D2, V1.D2] // acc[j0..j0+3]
+	MOVD R1, R10
+	MOVD R3, R9
+	MOVD R2, R11
+
+words4:
+	MOVD.P 8(R10), R12
+	VDUP   R12, V4.D2        // input word in both lanes
+	VLD1   (R9), [V5.D2, V6.D2]
+	VAND   V4.B16, V5.B16, V5.B16
+	VEOR   V5.B16, V0.B16, V0.B16
+	VAND   V4.B16, V6.B16, V6.B16
+	VEOR   V6.B16, V1.B16, V1.B16
+	ADD    R5, R9
+	SUB    $1, R11
+	CBNZ   R11, words4
+
+	VST1 [V0.D2, V1.D2], (R0)
+	ADD  $32, R0
+	ADD  $32, R3
+	SUB  $4, R6
+	B    block4
+
+block2:
+	CMP  $2, R6
+	BLT  row1
+	VLD1 (R0), [V0.D2]
+	MOVD R1, R10
+	MOVD R3, R9
+	MOVD R2, R11
+
+words2:
+	MOVD.P 8(R10), R12
+	VDUP   R12, V4.D2
+	VLD1   (R9), [V5.D2]
+	VAND   V4.B16, V5.B16, V5.B16
+	VEOR   V5.B16, V0.B16, V0.B16
+	ADD    R5, R9
+	SUB    $1, R11
+	CBNZ   R11, words2
+
+	VST1 [V0.D2], (R0)
+	ADD  $16, R0
+	ADD  $16, R3
+	SUB  $2, R6
+
+row1:
+	CBZ  R6, done
+	MOVD (R0), R12
+	MOVD R1, R10
+	MOVD R3, R9
+	MOVD R2, R11
+
+words1:
+	MOVD.P 8(R10), R13
+	MOVD   (R9), R14
+	AND    R14, R13
+	EOR    R13, R12
+	ADD    R5, R9
+	SUB    $1, R11
+	CBNZ   R11, words1
+
+	MOVD R12, (R0)
+
+done:
+	RET

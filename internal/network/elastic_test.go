@@ -1,0 +1,106 @@
+package network
+
+import (
+	"testing"
+
+	"mpic/internal/bitstring"
+	"mpic/internal/cores"
+	"mpic/internal/graph"
+)
+
+// elasticParties builds a clique of parties with varied send patterns so
+// the elastic engines have real per-round work to divide.
+func elasticParties(n int) ([]Party, []*echoParty) {
+	fns := map[int]func(int, graph.Node) bitstring.Symbol{}
+	for i := 0; i < n; i++ {
+		i := i
+		fns[i] = func(r int, to graph.Node) bitstring.Symbol {
+			if (r+i+int(to))%4 == 0 {
+				return bitstring.Silence
+			}
+			return bitstring.Symbol(uint8(r+i*3+int(to)) % 3)
+		}
+	}
+	return mkParties(n, fns)
+}
+
+// TestElasticBudgetMatchesSequential pins the elastic worker split's
+// determinism contract: a parallel engine borrowing from a core budget —
+// whether the budget is saturated (every heavy round denied, sequential
+// fallback on the caller's core), has spares (pooled rounds), or is
+// absent — delivers bit-identical symbols to the plain sequential
+// engine.
+func TestElasticBudgetMatchesSequential(t *testing.T) {
+	const n, rounds = 6, 12
+	forceMultiProc(t)
+
+	psA, epsA := elasticParties(n)
+	engA, _ := NewEngine(graph.Clique(n), psA, nil, nil)
+	engA.RunRounds(0, rounds)
+
+	// Saturated budget: every token held elsewhere, all borrows denied.
+	psB, epsB := elasticParties(n)
+	engB, _ := NewEngine(graph.Clique(n), psB, nil, nil)
+	engB.Parallel = true
+	full := cores.NewBudget(4)
+	full.Acquire(4)
+	engB.SetCoreBudget(full)
+	engB.RunRounds(0, rounds)
+	engB.Close()
+	if st := full.Stats(); st.Borrows == 0 || st.Denied != st.Borrows || st.Granted != 0 {
+		t.Fatalf("saturated budget stats %+v: want every borrow denied", st)
+	}
+
+	// Budget with spares: heavy rounds run pooled, tokens flow back.
+	psC, epsC := elasticParties(n)
+	engC, _ := NewEngine(graph.Clique(n), psC, nil, nil)
+	engC.Parallel = true
+	spare := cores.NewBudget(4)
+	spare.Acquire(1) // the caller's own core
+	engC.SetCoreBudget(spare)
+	engC.RunRounds(0, rounds)
+	engC.Close()
+	st := spare.Stats()
+	if st.Granted == 0 {
+		t.Fatalf("spare budget stats %+v: want helper cores granted", st)
+	}
+	if st.Held != 1 {
+		t.Fatalf("spare budget holds %d tokens after the run, want 1 (all borrows released)", st.Held)
+	}
+
+	for i := range epsA {
+		for name, eps := range map[string][]*echoParty{"saturated": epsB, "spare": epsC} {
+			a, b := epsA[i].received, eps[i].received
+			if len(a) != len(b) {
+				t.Fatalf("%s: party %d received %d vs %d deliveries", name, i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("%s: party %d delivery %d differs: %+v vs %+v", name, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestElasticBudgetPartialGrant pins the borrow cap: with only one spare
+// token, a heavy round gets exactly one helper even though the machine
+// (and the work list) could use more.
+func TestElasticBudgetPartialGrant(t *testing.T) {
+	forceMultiProc(t)
+	ps, _ := elasticParties(6)
+	eng, _ := NewEngine(graph.Clique(6), ps, nil, nil)
+	eng.Parallel = true
+	b := cores.NewBudget(2)
+	b.Acquire(1)
+	eng.SetCoreBudget(b)
+	eng.RunRounds(0, 8)
+	eng.Close()
+	st := b.Stats()
+	if st.Borrows == 0 || st.Granted != st.Borrows {
+		t.Fatalf("stats %+v: want exactly one helper granted per heavy round", st)
+	}
+	if st.Held != 1 {
+		t.Fatalf("budget holds %d tokens after the run, want 1", st.Held)
+	}
+}

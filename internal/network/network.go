@@ -24,6 +24,7 @@ import (
 	"mpic/internal/adversary"
 	"mpic/internal/bitstring"
 	"mpic/internal/channel"
+	"mpic/internal/cores"
 	"mpic/internal/graph"
 	"mpic/internal/trace"
 )
@@ -92,6 +93,12 @@ type Engine struct {
 	// real compute, e.g. the consistency-check round that rehashes every
 	// transcript. Unhinted parallel engines use the pool on every round.
 	parallelHint func(round int) bool
+	// budget, when non-nil, is the shared core-budget token pool this
+	// engine borrows helper cores from (the elastic worker split: grid
+	// cell workers hold tokens, and whatever is spare flows to heavy
+	// rounds here). A nil budget means the engine owns the machine and
+	// uses up to GOMAXPROCS workers as before.
+	budget *cores.Budget
 }
 
 // sendRange is one party's contiguous run of outgoing directed links.
@@ -171,6 +178,26 @@ func (e *Engine) SetPhaseFn(fn func(round int) trace.Phase) { e.phaseFn = fn }
 // heavy; see the Parallel field. Pass nil to parallelize every round.
 func (e *Engine) SetParallelHint(fn func(round int) bool) { e.parallelHint = fn }
 
+// SetCoreBudget points the parallel executor at a shared core-budget
+// token pool. For every heavy round the engine borrows whatever helper
+// cores are spare (possibly none — the round then runs sequentially on
+// the caller's core, which holds its own token) and returns them when
+// the round's sends are collected. Results are bit-identical at any
+// borrow outcome. Pass nil (the default) to let the engine assume it
+// owns the machine.
+func (e *Engine) SetCoreBudget(b *cores.Budget) { e.budget = b }
+
+// maxHelpers is the most helper workers a heavy round can use beyond the
+// caller's own goroutine: one per additional core, capped by the number
+// of work units (per-party send ranges).
+func (e *Engine) maxHelpers() int {
+	w := e.maxProc
+	if w > len(e.ranges) {
+		w = len(e.ranges)
+	}
+	return w - 1
+}
+
 // RunRounds executes rounds [from, to).
 func (e *Engine) RunRounds(from, to int) {
 	for r := from; r < to; r++ {
@@ -186,14 +213,27 @@ func (e *Engine) RunRounds(from, to int) {
 func (e *Engine) collectSends(round int) {
 	if e.Parallel && len(e.ranges) > 1 && e.maxProc > 1 &&
 		(e.parallelHint == nil || e.parallelHint(round)) {
-		if e.pool == nil {
-			e.pool = newSendPool(e)
+		helpers := e.maxHelpers()
+		if e.budget != nil {
+			// Elastic split: take only what the grid's other workers are
+			// not using, for the duration of this round's Send phase.
+			helpers = e.budget.TryAcquire(helpers)
 		}
-		e.pool.collect(round)
-	} else {
-		for i, l := range e.links {
-			e.sendBuf[i] = e.parties[l.From].Send(round, l.To)
+		if helpers > 0 {
+			if e.pool == nil {
+				e.pool = newSendPool(e)
+			}
+			e.pool.collect(round, helpers)
+			if e.budget != nil {
+				e.budget.Release(helpers)
+			}
+			return
 		}
+		// Every core is busy elsewhere: run the heavy round on our own
+		// core (the token we already hold) rather than oversubscribing.
+	}
+	for i, l := range e.links {
+		e.sendBuf[i] = e.parties[l.From].Send(round, l.To)
 	}
 }
 
@@ -239,27 +279,25 @@ func (e *Engine) Close() {
 }
 
 // sendPool is the persistent parallel Send executor: a fixed set of
-// workers that survives across rounds, replacing the
+// helper workers that survives across rounds, replacing the
 // goroutine-per-party-per-round pattern whose spawn cost swamped the
 // per-round work at larger n. Parties are handed out via an atomic
 // counter, so a slow party (deep in a rewind, say) does not serialize the
-// round behind a static partition.
+// round behind a static partition. The caller's goroutine always
+// participates in the claim loop — its core is spoken for either way —
+// and each round wakes only as many helpers as collect is told to use,
+// which is how the elastic core budget throttles the pool round by
+// round without tearing it down.
 type sendPool struct {
 	e       *Engine
-	workers int
+	workers int // helper goroutines spawned (the caller is one more)
 	next    atomic.Int64
-	start   chan int      // round broadcast: one send per worker per round
-	done    chan struct{} // one receive per worker per round
+	start   chan int      // round broadcast: one send per woken helper
+	done    chan struct{} // one receive per woken helper per round
 }
 
 func newSendPool(e *Engine) *sendPool {
-	w := e.maxProc
-	if w > len(e.ranges) {
-		w = len(e.ranges)
-	}
-	if w < 1 {
-		w = 1
-	}
+	w := e.maxHelpers()
 	p := &sendPool{e: e, workers: w, start: make(chan int), done: make(chan struct{}, w)}
 	for i := 0; i < w; i++ {
 		go p.worker()
@@ -267,33 +305,44 @@ func newSendPool(e *Engine) *sendPool {
 	return p
 }
 
+// run claims send ranges until the round's work list is drained; both
+// helpers and the collecting caller execute it.
+func (p *sendPool) run(round int) {
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= len(p.e.ranges) {
+			return
+		}
+		r := p.e.ranges[i]
+		party := p.e.parties[r.from]
+		for k := r.start; k < r.end; k++ {
+			p.e.sendBuf[k] = party.Send(round, p.e.links[k].To)
+		}
+	}
+}
+
 func (p *sendPool) worker() {
 	for round := range p.start {
-		for {
-			i := int(p.next.Add(1)) - 1
-			if i >= len(p.e.ranges) {
-				break
-			}
-			r := p.e.ranges[i]
-			party := p.e.parties[r.from]
-			for k := r.start; k < r.end; k++ {
-				p.e.sendBuf[k] = party.Send(round, p.e.links[k].To)
-			}
-		}
+		p.run(round)
 		p.done <- struct{}{}
 	}
 }
 
-// collect runs one round's Send phase on the pool and returns when every
-// party's symbols are in sendBuf. The Store/send pair orders the counter
-// reset before any worker starts, and the done receives order all sendBuf
-// writes before the caller reads them.
-func (p *sendPool) collect(round int) {
+// collect runs one round's Send phase on the pool — the caller plus up
+// to helpers woken workers — and returns when every party's symbols are
+// in sendBuf. The Store/send pair orders the counter reset before any
+// helper starts, and the done receives order all helper sendBuf writes
+// before the caller reads them.
+func (p *sendPool) collect(round, helpers int) {
+	if helpers > p.workers {
+		helpers = p.workers
+	}
 	p.next.Store(0)
-	for i := 0; i < p.workers; i++ {
+	for i := 0; i < helpers; i++ {
 		p.start <- round
 	}
-	for i := 0; i < p.workers; i++ {
+	p.run(round)
+	for i := 0; i < helpers; i++ {
 		<-p.done
 	}
 }
